@@ -1,0 +1,66 @@
+"""Ablation: how the shared-bus bandwidth shapes the speedup saturation.
+
+The paper attributes the naive vertical filter's poor speedup to "the
+congestion of the bus caused by the high number of cache misses".  This
+ablation re-runs the Fig. 8 measurement on hypothetical machines whose
+bus is 1/4x .. 16x the modelled Intel FSB: with a fat enough bus the
+naive code scales almost linearly (the cache misses cost latency but not
+*shared* bandwidth), and with a starved bus even the improved filter
+saturates -- the saturation point is a pure function of (miss traffic x
+bus bandwidth), exactly the paper's diagnosis.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cachesim.bus import SharedBus
+from repro.experiments.common import standard_workload
+from repro.perf.costmodel import simulate_encode
+from repro.smp import INTEL_SMP
+from repro.wavelet.strategies import VerticalStrategy
+
+
+def _machine_with_bus(factor: float):
+    bus = SharedBus(
+        bytes_per_cycle=INTEL_SMP.bus.bytes_per_cycle * factor,
+        line_size=INTEL_SMP.bus.line_size,
+    )
+    return dataclasses.replace(INTEL_SMP, bus=bus)
+
+
+def test_bench_bus_bandwidth(benchmark):
+    wl = standard_workload(4096)
+    factors = (0.25, 1.0, 4.0, 16.0)
+
+    def run():
+        out = {}
+        for f in factors:
+            machine = _machine_with_bus(f)
+            for strat in (VerticalStrategy.NAIVE, VerticalStrategy.AGGREGATED):
+                v1 = simulate_encode(wl, machine, 1, strat).vertical_ms()
+                v4 = simulate_encode(wl, machine, 4, strat).vertical_ms()
+                out[(f, strat)] = v1 / v4
+        return out
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nbus x   naive-vert speedup@4   improved-vert speedup@4")
+    for f in factors:
+        print(
+            f"{f:5.2f}   {speedups[(f, VerticalStrategy.NAIVE)]:20.2f}"
+            f"   {speedups[(f, VerticalStrategy.AGGREGATED)]:23.2f}"
+        )
+
+    naive = [speedups[(f, VerticalStrategy.NAIVE)] for f in factors]
+    improved = [speedups[(f, VerticalStrategy.AGGREGATED)] for f in factors]
+    # Naive scaling is bus-limited: monotone in bandwidth, poor when starved.
+    assert all(a <= b + 1e-9 for a, b in zip(naive, naive[1:]))
+    assert naive[0] < 1.2  # quarter-bandwidth: essentially no speedup
+    assert naive[-1] > 3.0  # 16x bus: misses no longer shared-limited
+    # The improved filter's little traffic makes it far less bus-
+    # sensitive: it still beats naive on the starved bus and is flat
+    # from the real FSB upward (its residual limits are fork/join and
+    # the small upper decomposition levels, not bandwidth).
+    assert improved[0] > naive[0] + 0.3
+    assert improved[-1] / improved[1] < 1.2

@@ -1,0 +1,61 @@
+"""Ablation: the pathology is a property of the *width*, not the size.
+
+The paper triggers its cache disaster with "large images with width equal
+to a power-of-two".  Sweeping the width through 4095 / 4096 / 4097 (and
+other nearby values) shows the cliff: one column of pixels more or less
+changes vertical filtering cost by an order of magnitude, while
+horizontal filtering doesn't care.  This is the experiment that would
+have localized the bug in the reference codecs immediately.
+"""
+
+import pytest
+
+from repro.cachesim import analytic_sweep_misses, set_period
+from repro.smp import INTEL_SMP
+from repro.perf.workmodel import DEFAULT_WORK_PARAMS, dwt_sweep_task
+from repro.wavelet import FILTER_9_7
+from repro.wavelet.strategies import plan_horizontal_filter, plan_vertical_filter
+
+
+def _vertical_ms(width: int, height: int = 2048) -> float:
+    sw = plan_vertical_filter(height, width, 1, FILTER_9_7, elem_size=4)
+    task = dwt_sweep_task(sw, FILTER_9_7, INTEL_SMP, DEFAULT_WORK_PARAMS, "v")
+    return INTEL_SMP.cycles_to_ms(task.cycles(INTEL_SMP))
+
+
+def _horizontal_ms(width: int, height: int = 2048) -> float:
+    sw = plan_horizontal_filter(height, width, 1, FILTER_9_7, elem_size=4)
+    task = dwt_sweep_task(sw, FILTER_9_7, INTEL_SMP, DEFAULT_WORK_PARAMS, "h")
+    return INTEL_SMP.cycles_to_ms(task.cycles(INTEL_SMP))
+
+
+def test_bench_image_width_cliff(benchmark):
+    widths = (4000, 4095, 4096, 4097, 4104, 4608, 8192)
+
+    def run():
+        return {
+            w: (
+                _vertical_ms(w),
+                _horizontal_ms(w),
+                set_period(w * 4, INTEL_SMP.l1),
+            )
+            for w in widths
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nwidth  L1-period  vertical(ms)  horizontal(ms)  v/h")
+    for w, (v, h, p) in table.items():
+        print(f"{w:5d}  {p:9d}  {v:12.1f}  {h:14.1f}  {v / h:5.1f}")
+
+    v4096 = table[4096][0]
+    # One column more or less: order-of-magnitude cliff.
+    assert v4096 > 5 * table[4095][0]
+    assert v4096 > 5 * table[4097][0]
+    # Another power of two is just as bad, per normalized cost.
+    assert table[8192][0] > 5 * 2 * table[4095][0]
+    # Horizontal filtering is width-insensitive (per-sample).
+    hs = {w: h / (w * 2048) for w, (_, h, _) in table.items()}
+    assert max(hs.values()) < 1.5 * min(hs.values())
+    # 4104 = 4096 + 8: stride still line-aligned, full set diversity.
+    assert table[4104][0] < v4096 / 5

@@ -1,0 +1,51 @@
+"""Ablation: what do quality layers cost?
+
+The scalable codestream ("transmitting each bit layer corresponds to a
+certain distortion level") is not free: every extra layer adds packet
+headers and splits code-block segments.  This ablation encodes the same
+image to the same final rate with 1, 3 and 6 nested layers and compares
+final-layer PSNR and total overhead: the embedded-stream feature should
+cost a small, bounded amount.
+"""
+
+import pytest
+
+from repro.codec import CodecParams, decode_image, encode_image
+from repro.image import SyntheticSpec, psnr, synthetic_image
+
+_FINAL_BPP = 1.0
+_LAYERINGS = {
+    1: (1.0,),
+    3: (0.25, 0.5, 1.0),
+    6: (0.0625, 0.125, 0.25, 0.5, 0.75, 1.0),
+}
+
+
+def test_bench_layer_overhead(benchmark):
+    img = synthetic_image(SyntheticSpec(256, 256, "mix", seed=13))
+
+    def run():
+        out = {}
+        for n, targets in _LAYERINGS.items():
+            res = encode_image(
+                img,
+                CodecParams(levels=4, base_step=1 / 64, cb_size=32, target_bpp=targets),
+            )
+            rec = decode_image(res.data)
+            out[n] = (res.rate_bpp(), psnr(img, rec))
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nlayers  rate(bpp)  final PSNR(dB)")
+    for n, (rate, db) in table.items():
+        print(f"{n:6d}  {rate:9.3f}  {db:14.2f}")
+
+    base_rate, base_psnr = table[1]
+    for n, (rate, db) in table.items():
+        # All configurations land near the final target...
+        assert rate <= _FINAL_BPP * 1.15
+        # ...and layering costs at most ~0.7 dB at the final rate.
+        assert db >= base_psnr - 0.7
+    # More layers never pack tighter than fewer at the same target.
+    assert table[6][1] <= table[1][1] + 0.1

@@ -1,0 +1,10 @@
+"""Full-scale extension study: parallel decoding (see the experiment
+module's docstring)."""
+
+from repro.experiments import ext_decoder as _mod
+
+from conftest import run_experiment
+
+
+def test_bench_ext_decoder(benchmark):
+    run_experiment(benchmark, _mod)

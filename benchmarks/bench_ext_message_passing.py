@@ -1,0 +1,10 @@
+"""Full-scale extension study: SMP vs message-passing clusters (see the
+experiment module's docstring)."""
+
+from repro.experiments import ext_message_passing as _mod
+
+from conftest import run_experiment
+
+
+def test_bench_ext_message_passing(benchmark):
+    run_experiment(benchmark, _mod)

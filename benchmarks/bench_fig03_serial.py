@@ -1,0 +1,11 @@
+"""Full-scale regeneration of the paper's fig03 (see the experiment
+module's docstring for what the paper shows and which claims are
+checked).  Run with `-s` to print the regenerated series."""
+
+from repro.experiments import fig03_serial as _mod
+
+from conftest import run_experiment
+
+
+def test_bench_fig03_serial(benchmark):
+    run_experiment(benchmark, _mod)

@@ -1,0 +1,37 @@
+"""Benchmark harness configuration.
+
+Every ``bench_figNN_*`` module regenerates one figure of the paper at
+full scale, asserts its qualitative checks, and prints the regenerated
+series (run with ``-s`` to see the tables).  The ``benchmark`` fixture
+times one full regeneration (single round: the experiments are
+deterministic, so repetition adds nothing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, module, quick: bool = False):
+    """Time one full experiment run, assert and display its results."""
+    result = benchmark.pedantic(
+        module.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print("\n" + result.summary())
+    assert result.all_passed, f"{result.name} failed: {result.failed_checks()}"
+    return result
+
+
+@pytest.fixture(scope="session")
+def paper_workload_16384k():
+    """The paper's headline workload (16384 Kpixel), session-cached."""
+    from repro.experiments.common import standard_workload
+
+    return standard_workload(16384)
+
+
+@pytest.fixture(scope="session")
+def paper_workload_4096k():
+    from repro.experiments.common import standard_workload
+
+    return standard_workload(4096)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""The paper's central finding, reproduced end to end.
+
+Section 3.2 of Meerwald/Norcen/Uhl: on images whose width is a power of
+two, vertical wavelet filtering maps entire columns into a single cache
+set, thrashes, and saturates the SMP bus; filtering a cache line's worth
+of adjacent columns together inside each processor fixes it.
+
+This example walks the whole causal chain with the repro library:
+
+1. the set-period collapse, from raw cache geometry;
+2. exact trace-driven miss counts for the three access strategies
+   (naive / padded width / aggregated columns) on a small image;
+3. the analytic model's predictions at the paper's full 4096x4096 scale;
+4. simulated filtering times and speedups on the 4-way Intel SMP
+   (Figs. 7 and 8);
+5. the numerical no-op check: aggregated filtering computes bit-identical
+   coefficients.
+
+Run:  python examples/cache_aware_filtering.py
+"""
+
+import numpy as np
+
+from repro import INTEL_SMP, VerticalStrategy
+from repro.cachesim import TraceCache, analytic_sweep_misses, set_period, sweep_trace
+from repro.core.study import filtering_profile
+from repro.experiments.common import standard_workload
+from repro.wavelet import FILTER_9_7, dwt1d
+from repro.wavelet.strategies import filter_columns_chunked, plan_vertical_filter
+
+
+def step1_set_period() -> None:
+    print("=" * 72)
+    print("1. Why power-of-two widths are poison: the set period")
+    print("=" * 72)
+    l1 = INTEL_SMP.l1
+    print(f"L1: {l1.size_bytes // 1024} KiB, {l1.associativity}-way, "
+          f"{l1.line_size} B lines -> {l1.num_sets} sets")
+    for width in (4096, 4096 + 9, 1000):
+        stride = width * 4  # float32 row stride
+        p = set_period(stride, l1)
+        note = "<- every column sample in ONE set!" if p == 1 else ""
+        print(f"  width {width:5d}: stride {stride:6d} B -> set period {p:4d} {note}")
+    print()
+
+
+def step2_trace_misses() -> None:
+    print("=" * 72)
+    print("2. Exact LRU simulation (96x128 image, small cache)")
+    print("=" * 72)
+    from repro.cachesim import CacheConfig
+
+    cfg = CacheConfig(2048, 32, 4)
+    for strategy in VerticalStrategy:
+        sw = plan_vertical_filter(96, 128, 1, FILTER_9_7, strategy, elem_size=4)
+        n_passes = 1 if strategy is VerticalStrategy.AGGREGATED else 4
+        stats = TraceCache(cfg).run(sweep_trace(sw, n_passes))
+        print(f"  {strategy.value:10s}: {stats.misses:6d} misses "
+              f"({100 * stats.miss_rate:.1f}% of accesses)")
+    print()
+
+
+def step3_analytic_full_scale() -> None:
+    print("=" * 72)
+    print("3. Analytic model at the paper's scale (4096x4096, Intel L1+L2)")
+    print("=" * 72)
+    for strategy in VerticalStrategy:
+        sw = plan_vertical_filter(4096, 4096, 1, FILTER_9_7, strategy, elem_size=4)
+        n_passes = 1 if strategy is VerticalStrategy.AGGREGATED else 4
+        l1 = analytic_sweep_misses(sw, INTEL_SMP.l1, n_passes).misses
+        l2 = analytic_sweep_misses(sw, INTEL_SMP.l2, n_passes).misses
+        print(f"  {strategy.value:10s}: L1 misses {l1 / 1e6:7.1f} M, "
+              f"L2 misses {min(l2, l1) / 1e6:7.1f} M")
+    print()
+
+
+def step4_simulated_times() -> None:
+    print("=" * 72)
+    print("4. Simulated filtering on the 4-way 500 MHz Intel SMP (Figs. 7/8)")
+    print("=" * 72)
+    wl = standard_workload(16384)
+    cpus = (1, 2, 3, 4)
+    prof = filtering_profile(
+        wl, INTEL_SMP, cpus, (VerticalStrategy.NAIVE, VerticalStrategy.AGGREGATED)
+    )
+    print("  CPUs  vertical(ms)  vert.improved(ms)  horizontal(ms)")
+    for n in cpus:
+        print(
+            f"  {n:4d}  {prof.vertical(VerticalStrategy.NAIVE, n):12.0f}"
+            f"  {prof.vertical(VerticalStrategy.AGGREGATED, n):17.0f}"
+            f"  {prof.horizontal(VerticalStrategy.NAIVE, n):14.0f}"
+        )
+    v1 = prof.vertical(VerticalStrategy.NAIVE, 1)
+    h1 = prof.horizontal(VerticalStrategy.NAIVE, 1)
+    v4 = prof.vertical(VerticalStrategy.NAIVE, 4)
+    print(f"\n  vertical/horizontal serial ratio: {v1 / h1:.1f} (paper: 6.7)")
+    print(f"  naive vertical speedup at 4 CPUs: {v1 / v4:.2f} (paper: ~1.9, bus-bound)")
+    print()
+
+
+def step5_numerical_equivalence() -> None:
+    print("=" * 72)
+    print("5. The fix changes memory order only -- coefficients are identical")
+    print("=" * 72)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 48))
+    low_ref, high_ref = dwt1d(x, FILTER_9_7)
+    low_agg, high_agg = filter_columns_chunked(x, FILTER_9_7, chunk=8)
+    same = np.allclose(low_ref, low_agg) and np.allclose(high_ref, high_agg)
+    print(f"  aggregated == naive coefficients: {same}")
+    print()
+
+
+if __name__ == "__main__":
+    step1_set_period()
+    step2_trace_misses()
+    step3_analytic_full_scale()
+    step4_simulated_times()
+    step5_numerical_equivalence()

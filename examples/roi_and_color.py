@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Beyond the paper's experiments: color and region-of-interest coding.
+
+The paper's pipeline diagram (Fig. 1) includes two stages its
+experiments never exercise: the inter-component transform and "ROI
+Scaling".  Both are implemented in this library; this example shows
+
+1. lossless color coding (reversible color transform + 5/3 wavelet:
+   bit-exact round trip on RGB input),
+2. rate-limited color coding (irreversible color transform + 9/7),
+3. max-shift ROI coding: at a starved bitrate, the region of interest
+   decodes near-perfectly while the background degrades -- the embedded
+   bitstream delivers ROI bit-planes first.
+
+Run:  python examples/roi_and_color.py
+"""
+
+import numpy as np
+
+import repro
+from repro import CodecParams, SyntheticSpec, decode_image, encode_image, psnr, synthetic_image
+
+
+def masked_psnr(ref: np.ndarray, test: np.ndarray, mask: np.ndarray) -> float:
+    diff = (ref.astype(float) - test.astype(float))[mask]
+    return 10 * np.log10(255.0**2 / np.mean(diff * diff))
+
+
+def color_demo() -> None:
+    print("=" * 68)
+    print("Color coding (inter-component transform)")
+    print("=" * 68)
+    r = synthetic_image(SyntheticSpec(256, 256, "mix", seed=1))
+    g = synthetic_image(SyntheticSpec(256, 256, "fbm", seed=2))
+    b = synthetic_image(SyntheticSpec(256, 256, "mix", seed=3))
+    rgb = np.stack([r, g, b], axis=2)
+
+    lossless = encode_image(rgb, CodecParams(filter_name="5/3", levels=5))
+    rec = decode_image(lossless.data)
+    print(f"RCT + 5/3 lossless: {lossless.rate_bpp():.2f} bpp "
+          f"(of 24 raw), bit-exact = {np.array_equal(rec, rgb)}")
+
+    lossy = encode_image(
+        rgb, CodecParams(levels=5, base_step=1 / 64, target_bpp=(1.5,))
+    )
+    rec = decode_image(lossy.data)
+    print(f"ICT + 9/7 @ 1.5 bpp: PSNR {psnr(rgb, rec):.2f} dB "
+          f"(rate {lossy.rate_bpp():.2f} bpp)\n")
+
+
+def roi_demo() -> None:
+    print("=" * 68)
+    print("Region-of-interest coding (max-shift method)")
+    print("=" * 68)
+    img = synthetic_image(SyntheticSpec(256, 256, "mix", seed=6))
+    mask = np.zeros_like(img, dtype=bool)
+    mask[96:160, 96:160] = True  # a 64x64 "diagnostic region"
+
+    params = CodecParams(levels=5, base_step=1 / 64, target_bpp=(0.25,))
+    plain = decode_image(encode_image(img, params).data)
+    roi = decode_image(encode_image(img, params, roi_mask=mask).data)
+
+    inner = mask.copy()
+    inner[:100] = inner[156:] = False
+    inner[:, :100] = inner[:, 156:] = False
+
+    print(f"at 0.25 bpp               plain      with ROI")
+    print(f"  ROI region PSNR     {masked_psnr(img, plain, inner):9.2f} dB "
+          f"{masked_psnr(img, roi, inner):9.2f} dB")
+    print(f"  background PSNR     {masked_psnr(img, plain, ~mask):9.2f} dB "
+          f"{masked_psnr(img, roi, ~mask):9.2f} dB")
+    print(
+        "\nThe ROI's bit-planes ride above every background plane in the\n"
+        "embedded stream, so the region sharpens first at any truncation\n"
+        "point -- the trade the max-shift method is designed to make."
+    )
+
+
+if __name__ == "__main__":
+    color_demo()
+    roi_demo()

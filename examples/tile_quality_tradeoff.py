@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Why the paper rejects tile-based parallelization (Figs. 4 and 5).
+
+The classic way to parallelize an image codec is to split the image into
+tiles and give each CPU one tile.  For JPEG that is free (the DCT is
+already 8x8-blocked), but JPEG2000's global wavelet transform loses
+rate-distortion performance when chopped into independent tiles, and the
+tile boundaries develop blocking artifacts at low bitrates.
+
+This example encodes one image with progressively finer tilings -- each
+tiling corresponding to a CPU count in the tile-parallel scheme -- and
+reports PSNR over the paper's bitrate range, plus a boundary-blockiness
+metric.  Compare with the proposed approach (examples/smp_scaling_study.py),
+which parallelizes the global transform instead and pays NO quality cost.
+
+Run:  python examples/tile_quality_tradeoff.py [--side 256]
+"""
+
+import argparse
+
+from repro import CodecParams, SyntheticSpec, decode_image, encode_image, psnr, synthetic_image
+from repro.experiments.fig04_artifacts import blockiness
+
+
+def main(side: int) -> None:
+    bitrates = (0.0625, 0.25, 1.0)
+    tilings = [t for t in (side, side // 2, side // 4, side // 8) if t >= 32]
+    img = synthetic_image(SyntheticSpec(side, side, "mix", seed=5))
+
+    print(f"image {side}x{side}, bitrates {bitrates} bpp")
+    print(f"{'tiles':>10s} {'CPUs':>5s} " + " ".join(f"{b:>9.4f}" for b in bitrates)
+          + "   blockiness@lowest")
+    results = {}
+    for tile in tilings:
+        params = CodecParams(
+            levels=min(5, CodecParams().effective_levels(tile, tile)),
+            base_step=1 / 64,
+            target_bpp=bitrates,
+            tile_size=0 if tile >= side else tile,
+        )
+        enc = encode_image(img, params)
+        psnrs = []
+        lowest_rec = None
+        for layer in range(len(bitrates)):
+            rec = decode_image(enc.data, max_layer=layer)
+            if layer == 0:
+                lowest_rec = rec
+            psnrs.append(psnr(img, rec))
+        blk = blockiness(lowest_rec, tile) if tile < side else blockiness(lowest_rec, 8)
+        results[tile] = psnrs
+        cpus = (side // tile) ** 2
+        print(
+            f"{tile:>7d}px {cpus:>5d} "
+            + " ".join(f"{p:9.2f}" for p in psnrs)
+            + f"   {blk:.3f}"
+        )
+
+    untiled = results[tilings[0]]
+    finest = results[tilings[-1]]
+    print("\nPSNR cost of the finest tiling vs untiled:")
+    for b, u, t in zip(bitrates, untiled, finest):
+        print(f"  {b:7.4f} bpp: {u - t:+5.2f} dB")
+    print(
+        "\nConclusion (the paper's): tile-parallelism trades image quality\n"
+        "for speedup; the repro library instead parallelizes the *global*\n"
+        "transform and the independent code-blocks -- zero quality cost."
+    )
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--side", type=int, default=256, help="image side (pixels)")
+    main(ap.parse_args().side)

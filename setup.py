@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment's setuptools lacks the `wheel`
+package, so editable installs go through `setup.py develop` (which pip
+falls back to when a setup.py is present and build isolation is off)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Comparator codecs implemented from scratch.
+
+The paper's Fig. 2 benchmarks four codecs -- DCT-based JPEG, wavelet
+SPIHT, and the two JPEG2000 reference implementations -- and Fig. 4
+contrasts JPEG's blocking artifacts with JPEG2000's.  Both comparators
+are implemented here in full (encoder *and* decoder):
+
+- :mod:`repro.baselines.jpeg` -- 8x8 DCT, quality-scaled quantization,
+  zigzag + run/size entropy coding with canonical Huffman tables.
+- :mod:`repro.baselines.spiht` -- Said & Pearlman's set partitioning in
+  hierarchical trees over the wavelet pyramid, with exact bit-budget
+  truncation.
+"""
+
+from .jpeg.codec import jpeg_encode, jpeg_decode
+from .spiht.spiht import spiht_encode, spiht_decode
+
+__all__ = ["jpeg_encode", "jpeg_decode", "spiht_encode", "spiht_decode"]

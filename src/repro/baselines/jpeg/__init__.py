@@ -1,0 +1,5 @@
+"""Baseline DCT JPEG codec (see :mod:`repro.baselines.jpeg.codec`)."""
+
+from .codec import jpeg_encode, jpeg_decode
+
+__all__ = ["jpeg_encode", "jpeg_decode"]

@@ -1,0 +1,123 @@
+"""Canonical Huffman coding for the JPEG baseline's entropy stage.
+
+Tables are built per image from symbol histograms (a legal JPEG strategy
+-- "optimized" tables), serialized as canonical code lengths, and
+rebuilt identically by the decoder.  Code lengths are capped at 16 bits
+by the standard's length-limiting adjustment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from ...tier2.bitio import BitReader, BitWriter
+
+__all__ = ["build_code_lengths", "canonical_codes", "HuffmanEncoder", "HuffmanDecoder"]
+
+MAX_LEN = 16
+
+
+def build_code_lengths(freqs: Dict[int, int]) -> Dict[int, int]:
+    """Huffman code lengths from symbol frequencies, capped at 16 bits.
+
+    Always returns at least two symbols' worth of lengths so the
+    canonical decoder never sees a degenerate one-entry code.
+    """
+    items = [(f, s) for s, f in freqs.items() if f > 0]
+    if not items:
+        return {}
+    if len(items) == 1:
+        return {items[0][1]: 1}
+    heap: List[Tuple[int, int, object]] = []
+    for idx, (f, s) in enumerate(items):
+        heap.append((f, idx, ("leaf", s)))
+    heapq.heapify(heap)
+    counter = len(items)
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, ("node", n1, n2)))
+        counter += 1
+    lengths: Dict[int, int] = {}
+
+    def walk(node, depth: int) -> None:
+        if node[0] == "leaf":
+            lengths[node[1]] = max(1, depth)
+        else:
+            walk(node[1], depth + 1)
+            walk(node[2], depth + 1)
+
+    walk(heap[0][2], 0)
+    # Length-limit: push any >16-bit codes up (Kraft-sum fixing).
+    while max(lengths.values()) > MAX_LEN:
+        over = [s for s, l in lengths.items() if l > MAX_LEN]
+        for s in over:
+            lengths[s] = MAX_LEN
+        # Restore Kraft inequality by demoting the shallowest leaves.
+        while sum(2.0 ** -l for l in lengths.values()) > 1.0:
+            deepest_ok = max(
+                (s for s, l in lengths.items() if l < MAX_LEN),
+                key=lambda s: lengths[s],
+            )
+            lengths[deepest_ok] += 1
+    return lengths
+
+
+def canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Canonical (code, length) assignment from code lengths."""
+    order = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol, length in order:
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class HuffmanEncoder:
+    """Encode symbols with a canonical code and serialize the table."""
+
+    def __init__(self, freqs: Dict[int, int]) -> None:
+        self.lengths = build_code_lengths(freqs)
+        self.codes = canonical_codes(self.lengths)
+
+    def write_table(self, w: BitWriter) -> None:
+        """Serialize: 16-bit symbol count, then (symbol u16, length u5)."""
+        w.write_bits(len(self.lengths), 16)
+        for symbol in sorted(self.lengths):
+            w.write_bits(symbol, 16)
+            w.write_bits(self.lengths[symbol], 5)
+
+    def encode(self, w: BitWriter, symbol: int) -> None:
+        code, length = self.codes[symbol]
+        w.write_bits(code, length)
+
+
+class HuffmanDecoder:
+    """Mirror of :class:`HuffmanEncoder`."""
+
+    def __init__(self, r: BitReader) -> None:
+        n = r.read_bits(16)
+        lengths: Dict[int, int] = {}
+        for _ in range(n):
+            symbol = r.read_bits(16)
+            lengths[symbol] = r.read_bits(5)
+        self.codes = canonical_codes(lengths)
+        # code -> symbol lookup by (length, code).
+        self._by_code: Dict[Tuple[int, int], int] = {
+            (length, code): sym for sym, (code, length) in self.codes.items()
+        }
+        self._max_len = max((l for _, l in self.codes.values()), default=0)
+
+    def decode(self, r: BitReader) -> int:
+        code = 0
+        for length in range(1, self._max_len + 1):
+            code = (code << 1) | r.read_bit()
+            sym = self._by_code.get((length, code))
+            if sym is not None:
+                return sym
+        raise ValueError("invalid Huffman code in stream")

@@ -1,0 +1,57 @@
+"""JPEG baseline tables: zigzag scan and the Annex-K quantization matrix."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["ZIGZAG", "inverse_zigzag_order", "quant_matrix", "BASE_LUMA_QUANT"]
+
+#: ITU T.81 Annex K.1 luminance quantization matrix (quality 50 base).
+BASE_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+@lru_cache(maxsize=1)
+def _zigzag_indices() -> np.ndarray:
+    """Flat indices of the 8x8 zigzag scan."""
+    order = sorted(
+        ((i, j) for i in range(8) for j in range(8)),
+        key=lambda ij: (ij[0] + ij[1], ij[1] if (ij[0] + ij[1]) % 2 else ij[0]),
+    )
+    return np.array([i * 8 + j for i, j in order], dtype=np.intp)
+
+
+ZIGZAG = _zigzag_indices()
+
+
+@lru_cache(maxsize=1)
+def inverse_zigzag_order() -> np.ndarray:
+    """Permutation undoing :data:`ZIGZAG`."""
+    inv = np.empty(64, dtype=np.intp)
+    inv[ZIGZAG] = np.arange(64)
+    return inv
+
+
+def quant_matrix(quality: int) -> np.ndarray:
+    """Quality-scaled quantization matrix (IJG convention, 1..100)."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    q = np.floor((BASE_LUMA_QUANT * scale + 50.0) / 100.0)
+    return np.clip(q, 1.0, 255.0)

@@ -1,0 +1,5 @@
+"""SPIHT baseline codec (see :mod:`repro.baselines.spiht.spiht`)."""
+
+from .spiht import spiht_encode, spiht_decode
+
+__all__ = ["spiht_encode", "spiht_decode"]

@@ -1,0 +1,309 @@
+"""Set Partitioning In Hierarchical Trees (Said & Pearlman, 1996).
+
+The zerotree-family comparator of the paper's Fig. 2 -- and its
+algorithmic foil in Sec. 2: unlike EBCOT/JPEG2000, SPIHT exploits
+*cross-subband* structure (spatial orientation trees spanning every
+decomposition level), which is exactly what JPEG2000 gave up to get
+independently codable blocks, and why SPIHT has no block-parallel
+encoding stage.
+
+Implementation: 9/7 wavelet pyramid packed in the Mallat single-matrix
+layout, coefficients scaled to integers, then the classic three-list
+algorithm (LIP / LIS / LSP) with exact bit-budget truncation -- encoder
+and decoder stop at precisely the same bit, so any prefix of the stream
+decodes.  Set-significance queries use a precomputed descendant-maximum
+pyramid (a vectorized max-pool cascade), replacing the recursive tree
+walks with O(1) lookups.
+
+Restrictions: square power-of-two images (the experiments' geometry);
+the orientation-tree parent/child arithmetic requires it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...tier2.bitio import BitReader, BitWriter
+from ...wavelet.dwt2d import Subbands, dwt2d, idwt2d
+
+__all__ = ["spiht_encode", "spiht_decode"]
+
+_MAGIC = b"RSPT"
+_SCALE = 16.0  # coefficient scaling before integer rounding
+
+_TYPE_A = 0
+_TYPE_B = 1
+
+
+def _check_geometry(h: int, w: int, levels: int) -> None:
+    if h != w or h & (h - 1):
+        raise ValueError("SPIHT baseline requires square power-of-two images")
+    if h >> levels < 2:
+        raise ValueError("too many levels for image size")
+
+
+def _descendant_max(mag: np.ndarray, root: int) -> np.ndarray:
+    """Max |coefficient| over all descendants of every tree node.
+
+    Vectorized max-pool cascade from the finest scale up to the root
+    band size; entries without descendants read 0.
+    """
+    h, w = mag.shape
+    tree = np.zeros_like(mag)
+    size = h // 2
+    while size >= root:
+        cand = np.maximum(mag[: 2 * size, : 2 * size], tree[: 2 * size, : 2 * size])
+        pooled = cand.reshape(size, 2, size, 2).max(axis=(1, 3))
+        tree[:size, :size] = pooled
+        size //= 2
+    return tree
+
+
+def _children(i: int, j: int, root: int) -> Tuple[Tuple[int, int], ...]:
+    """Offspring of one tree node.
+
+    LL-band roots have one child in each coarsest detail band (the
+    spatially co-located HL/LH/HH coefficients); every other coefficient
+    has the standard 2x2 block at doubled coordinates.
+    """
+    if i < root and j < root:
+        return ((i, j + root), (i + root, j), (i + root, j + root))
+    i2, j2 = 2 * i, 2 * j
+    return ((i2, j2), (i2, j2 + 1), (i2 + 1, j2), (i2 + 1, j2 + 1))
+
+
+def _has_children(i: int, j: int, root: int, h: int) -> bool:
+    """True when a node has offspring (non-LL: coordinates still double)."""
+    if i < root and j < root:
+        return True
+    return 2 * i < h and 2 * j < h
+
+
+def _sig_a(tree: np.ndarray, mag: np.ndarray, children) -> int:
+    """Significance of the descendant set D(i,j) (type A)."""
+    return int(max(max(mag[c], tree[c]) for c in children))
+
+
+def _sig_b(tree: np.ndarray, children) -> int:
+    """Significance of the grand-descendant set L(i,j) (type B)."""
+    return int(max(tree[c] for c in children))
+
+
+class _BudgetExceeded(Exception):
+    """Raised exactly at the bit where the budget runs out."""
+
+
+class _CountingWriter:
+    """BitWriter wrapper enforcing the bit budget."""
+
+    def __init__(self, writer: BitWriter, budget: int) -> None:
+        self.writer = writer
+        self.remaining = budget
+
+    def bit(self, b: int) -> None:
+        if self.remaining <= 0:
+            raise _BudgetExceeded
+        self.writer.write_bit(b)
+        self.remaining -= 1
+
+
+class _CountingReader:
+    """BitReader wrapper that mirrors the encoder's budget stop."""
+
+    def __init__(self, reader: BitReader, budget: int) -> None:
+        self.reader = reader
+        self.remaining = budget
+
+    def bit(self) -> int:
+        if self.remaining <= 0:
+            raise _BudgetExceeded
+        self.remaining -= 1
+        return self.reader.read_bit()
+
+
+def spiht_encode(
+    image: np.ndarray,
+    bpp: float = 1.0,
+    levels: int = 5,
+    filter_name: str = "9/7",
+) -> bytes:
+    """Encode a grayscale image at ``bpp`` bits per pixel."""
+    img = np.asarray(image)
+    if img.ndim != 2:
+        raise ValueError("expected a 2-D grayscale image")
+    h, w = img.shape
+    _check_geometry(h, w, levels)
+    if bpp <= 0:
+        raise ValueError("bpp must be positive")
+
+    sb = dwt2d(img.astype(np.float64) - 128.0, levels, filter_name)
+    matrix = np.rint(sb.to_matrix() * _SCALE).astype(np.int64)
+    mag = np.abs(matrix)
+    neg = matrix < 0
+    root = h >> levels
+    tree = _descendant_max(mag, root)
+
+    max_mag = int(max(mag.max(), 1))
+    n_start = max_mag.bit_length() - 1
+    budget = int(bpp * h * w)
+    writer = BitWriter()
+    out = _CountingWriter(writer, budget)
+
+    lip: List[Tuple[int, int]] = [
+        (i, j) for i in range(root) for j in range(root)
+    ]
+    lis: List[Tuple[int, int, int]] = [
+        (i, j, _TYPE_A) for i in range(root) for j in range(root)
+    ]
+    lsp: List[Tuple[int, int]] = []
+
+    n = n_start
+    try:
+        while n >= 0:
+            threshold = 1 << n
+            _sorting_pass_enc(out, mag, neg, tree, lip, lis, lsp, threshold, h, root)
+            _refinement_pass_enc(out, mag, lsp, n, n_start)
+            n -= 1
+    except _BudgetExceeded:
+        pass
+    body = writer.getvalue()
+    header = _MAGIC + struct.pack(">IIBBI", h, w, levels, n_start, budget)
+    return header + body
+
+
+def _sorting_pass_enc(out, mag, neg, tree, lip, lis, lsp, threshold, h, root) -> None:
+    new_lip: List[Tuple[int, int]] = []
+    for (i, j) in lip:
+        sig = 1 if mag[i, j] >= threshold else 0
+        out.bit(sig)
+        if sig:
+            out.bit(1 if neg[i, j] else 0)
+            lsp.append((i, j))
+        else:
+            new_lip.append((i, j))
+    lip[:] = new_lip
+
+    idx = 0
+    while idx < len(lis):
+        i, j, typ = lis[idx]
+        kids = _children(i, j, root)
+        if typ == _TYPE_A:
+            sig = 1 if _sig_a(tree, mag, kids) >= threshold else 0
+            out.bit(sig)
+            if sig:
+                for (ci, cj) in kids:
+                    csig = 1 if mag[ci, cj] >= threshold else 0
+                    out.bit(csig)
+                    if csig:
+                        out.bit(1 if neg[ci, cj] else 0)
+                        lsp.append((ci, cj))
+                    else:
+                        lip.append((ci, cj))
+                if any(_has_children(ci, cj, root, h) for (ci, cj) in kids):
+                    lis.append((i, j, _TYPE_B))
+                lis[idx] = None  # type: ignore[call-overload]
+        else:
+            sig = 1 if _sig_b(tree, kids) >= threshold else 0
+            out.bit(sig)
+            if sig:
+                for (ci, cj) in kids:
+                    lis.append((ci, cj, _TYPE_A))
+                lis[idx] = None  # type: ignore[call-overload]
+        idx += 1
+    lis[:] = [e for e in lis if e is not None]
+
+
+def _refinement_pass_enc(out, mag, lsp, n, n_start) -> None:
+    threshold = 1 << n
+    for (i, j) in lsp:
+        # Refine only entries significant from an earlier (coarser) plane.
+        if mag[i, j] >= (threshold << 1):
+            out.bit((int(mag[i, j]) >> n) & 1)
+
+
+def spiht_decode(data: bytes, filter_name: str = "9/7") -> np.ndarray:
+    """Decode any prefix-faithful SPIHT stream back to an image."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a repro-SPIHT stream")
+    h, w, levels, n_start, budget = struct.unpack_from(">IIBBI", data, 4)
+    reader = BitReader(data[4 + struct.calcsize(">IIBBI") :])
+    inp = _CountingReader(reader, budget)
+    root = h >> levels
+
+    mag = np.zeros((h, w), dtype=np.int64)
+    neg = np.zeros((h, w), dtype=bool)
+    sig_plane = np.full((h, w), -1, dtype=np.int64)  # plane of significance
+
+    lip: List[Tuple[int, int]] = [(i, j) for i in range(root) for j in range(root)]
+    lis: List[Tuple[int, int, int]] = [
+        (i, j, _TYPE_A) for i in range(root) for j in range(root)
+    ]
+    lsp: List[Tuple[int, int]] = []
+
+    n = n_start
+    n_end = n_start
+    try:
+        while n >= 0:
+            n_end = n
+            threshold = 1 << n
+            # Sorting pass.
+            new_lip: List[Tuple[int, int]] = []
+            for (i, j) in lip:
+                if inp.bit():
+                    neg[i, j] = bool(inp.bit())
+                    mag[i, j] = threshold
+                    sig_plane[i, j] = n
+                    lsp.append((i, j))
+                else:
+                    new_lip.append((i, j))
+            lip = new_lip
+            idx = 0
+            while idx < len(lis):
+                i, j, typ = lis[idx]
+                kids = _children(i, j, root)
+                if typ == _TYPE_A:
+                    if inp.bit():
+                        for (ci, cj) in kids:
+                            if inp.bit():
+                                neg[ci, cj] = bool(inp.bit())
+                                mag[ci, cj] = threshold
+                                sig_plane[ci, cj] = n
+                                lsp.append((ci, cj))
+                            else:
+                                lip.append((ci, cj))
+                        if any(_has_children(ci, cj, root, h) for (ci, cj) in kids):
+                            lis.append((i, j, _TYPE_B))
+                        lis[idx] = None  # type: ignore[call-overload]
+                else:
+                    if inp.bit():
+                        for (ci, cj) in kids:
+                            lis.append((ci, cj, _TYPE_A))
+                        lis[idx] = None  # type: ignore[call-overload]
+                idx += 1
+            lis = [e for e in lis if e is not None]
+            # Refinement pass.
+            for (i, j) in lsp:
+                if sig_plane[i, j] > n:
+                    if inp.bit():
+                        mag[i, j] |= threshold
+            n -= 1
+    except _BudgetExceeded:
+        pass
+    except EOFError:
+        pass
+
+    # Midpoint reconstruction of the unknown low planes.
+    values = mag.astype(np.float64)
+    nz = values > 0
+    if n_end > 0:
+        values[nz] += 0.5 * (1 << n_end)
+    else:
+        values[nz] += 0.5
+    values[neg] = -values[neg]
+    matrix = values / _SCALE
+    sb = Subbands.from_matrix(matrix, levels, filter_name)
+    rec = idwt2d(sb) + 128.0
+    return np.clip(np.rint(rec), 0, 255).astype(np.uint8)

@@ -1,0 +1,46 @@
+"""Set-associative cache and shared-bus models.
+
+The paper's key performance finding (Sec. 3.2) is architectural, not
+algorithmic: on images whose width is a power of two, the vertical lifting
+stride maps an entire image column into a *single set* of the processor's
+k-way set-associative cache; since the filter is longer than k, the column
+working set thrashes, and on an SMP the resulting line-fill traffic
+congests the shared bus, capping the parallel speedup of vertical
+filtering.
+
+This package reproduces that mechanism from scratch at two fidelities:
+
+- :class:`TraceCache` -- an exact set-associative LRU cache simulator fed
+  by address traces generated from a :class:`~repro.wavelet.strategies.Sweep`
+  (:mod:`repro.cachesim.trace`).  Used in tests and small-scale studies.
+- :func:`analytic_sweep_misses` -- a closed-form miss model for filtering
+  sweeps, validated against the trace simulator in the test suite, cheap
+  enough to drive the full-scale experiments of Figs. 6-13.
+- :class:`SharedBus` -- a deterministic bandwidth model that turns
+  aggregate miss traffic into the bus-bound phase times responsible for
+  the saturating vertical-filtering speedup in Fig. 8.
+
+The default :class:`CacheConfig` (16 KiB, 4-way, 32-byte lines) matches
+the paper's description of its Pentium II Xeon platform: "the filter
+length is longer than 4 (this corresponds to the 4-way associative
+cache)".
+"""
+
+from .cache import CacheConfig, TraceCache, CacheStats
+from .trace import sweep_trace, column_filter_trace, row_filter_trace
+from .analytic import analytic_sweep_misses, set_period, is_pathological, MissBreakdown
+from .bus import SharedBus
+
+__all__ = [
+    "CacheConfig",
+    "TraceCache",
+    "CacheStats",
+    "sweep_trace",
+    "column_filter_trace",
+    "row_filter_trace",
+    "analytic_sweep_misses",
+    "set_period",
+    "is_pathological",
+    "MissBreakdown",
+    "SharedBus",
+]

@@ -1,0 +1,80 @@
+"""Deterministic shared-bus (front-side bus) bandwidth model.
+
+The paper attributes the poor parallel speedup of naive vertical filtering
+to "congestion of the bus caused by the high number of cache misses"
+(Sec. 3.2).  We model the mechanism with a work-conserving bandwidth
+bound: every miss moves one cache line across a bus all processors share,
+so a parallel phase can never finish faster than
+
+    ``total_miss_bytes / bus_bandwidth``
+
+while each individual CPU needs at least its own compute plus its own
+exposed miss latency.  The phase time is the max of the two -- compute
+scales with CPUs, the bus floor does not, which is exactly the saturation
+shape of the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["SharedBus"]
+
+
+@dataclass(frozen=True)
+class SharedBus:
+    """A shared memory bus.
+
+    Attributes
+    ----------
+    bytes_per_cycle:
+        Sustained line-fill bandwidth in bytes per CPU clock cycle.  The
+        2002-era front-side bus moved far fewer bytes per CPU cycle than a
+        CPU could request when thrashing, which is what makes the naive
+        vertical filter bus-bound.
+    line_size:
+        Bytes transferred per miss.
+    """
+
+    bytes_per_cycle: float = 8.0
+    line_size: int = 32
+
+    def transfer_cycles(self, misses: int) -> float:
+        """Cycles the bus needs to service ``misses`` line fills."""
+        if misses < 0:
+            raise ValueError("misses must be non-negative")
+        return misses * self.line_size / self.bytes_per_cycle
+
+    def phase_time(
+        self, cpu_loads: Sequence[Tuple[float, int]], miss_penalty: float
+    ) -> float:
+        """Simulated cycles for one barrier-synchronized parallel phase.
+
+        Parameters
+        ----------
+        cpu_loads:
+            Per-CPU ``(compute_cycles, miss_count)`` pairs.
+        miss_penalty:
+            Exposed per-miss stall in cycles (uncontended).
+
+        Returns
+        -------
+        float
+            ``max(slowest CPU's compute + stalls, bus transfer floor)``.
+        """
+        if not cpu_loads:
+            return 0.0
+        per_cpu = max(compute + misses * miss_penalty for compute, misses in cpu_loads)
+        total_misses = sum(misses for _, misses in cpu_loads)
+        return max(per_cpu, self.transfer_cycles(total_misses))
+
+    def utilization(
+        self, cpu_loads: Sequence[Tuple[float, int]], miss_penalty: float
+    ) -> float:
+        """Fraction of the phase the bus spends transferring (0..1)."""
+        t = self.phase_time(cpu_loads, miss_penalty)
+        if t == 0:
+            return 0.0
+        total_misses = sum(m for _, m in cpu_loads)
+        return min(1.0, self.transfer_cycles(total_misses) / t)

@@ -1,0 +1,167 @@
+"""Exact set-associative LRU cache simulation.
+
+A deliberately simple, well-tested model: single cache level, LRU
+replacement, no prefetching, write-allocate (a store to an uncached line
+fetches it first, like the write-back caches of the paper's platforms).
+This is all the mechanism needed to reproduce the column-stride set
+conflict of Sec. 3.2; multi-level hierarchies would change constants, not
+shape, and the constants are owned by the :mod:`repro.perf` calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = ["CacheConfig", "CacheStats", "TraceCache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache.
+
+    The default matches the paper's description of the Pentium II Xeon
+    data cache relevant to the pathology: 16 KiB, 4-way associative,
+    32-byte lines, hence ``16384 / 32 / 4 = 128`` sets.
+    """
+
+    size_bytes: int = 16 * 1024
+    line_size: int = 32
+    associativity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_size <= 0 or self.associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise ValueError(
+                f"size {self.size_bytes} not divisible by line*ways "
+                f"({self.line_size}*{self.associativity})"
+            )
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def set_index(self, address: int) -> int:
+        """Cache set an address maps to."""
+        return (address // self.line_size) % self.num_sets
+
+    def line_tag(self, address: int) -> int:
+        """Unique identifier of the cache line containing an address."""
+        return address // self.line_size
+
+
+@dataclass
+class CacheStats:
+    """Access/miss counters produced by a simulation run."""
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine counters from two runs (e.g. per-CPU partials)."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+
+class TraceCache:
+    """Set-associative LRU cache driven by an address trace.
+
+    LRU state per set is a Python list ordered most-recent-first; the
+    trace loop is pure Python but traces in this repository are small
+    (tests and small-image studies), while full-scale experiments use the
+    validated analytic model instead.
+    """
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self._sets: List[List[int]] = [[] for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Empty the cache and zero the counters."""
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        cfg = self.config
+        tag = address // cfg.line_size
+        set_idx = tag % cfg.num_sets
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        try:
+            pos = ways.index(tag)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= cfg.associativity:
+                ways.pop()
+                self.stats.evictions += 1
+            ways.insert(0, tag)
+            return False
+        if pos:
+            ways.insert(0, ways.pop(pos))
+        return True
+
+    def run(self, trace: Iterable[int]) -> CacheStats:
+        """Feed a whole address trace; returns the *delta* statistics."""
+        before_acc, before_miss, before_ev = (
+            self.stats.accesses,
+            self.stats.misses,
+            self.stats.evictions,
+        )
+        cfg = self.config
+        num_sets = cfg.num_sets
+        line = cfg.line_size
+        assoc = cfg.associativity
+        sets = self._sets
+        accesses = misses = evictions = 0
+        for address in trace:
+            tag = address // line
+            ways = sets[tag % num_sets]
+            accesses += 1
+            try:
+                pos = ways.index(tag)
+            except ValueError:
+                misses += 1
+                if len(ways) >= assoc:
+                    ways.pop()
+                    evictions += 1
+                ways.insert(0, tag)
+                continue
+            if pos:
+                ways.insert(0, ways.pop(pos))
+        self.stats.accesses = before_acc + accesses
+        self.stats.misses = before_miss + misses
+        self.stats.evictions = before_ev + evictions
+        return CacheStats(accesses=accesses, misses=misses, evictions=evictions)
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached (for occupancy assertions)."""
+        return sum(len(w) for w in self._sets)
+
+    def contains(self, address: int) -> bool:
+        """True if the line holding ``address`` is resident (no LRU update)."""
+        cfg = self.config
+        tag = address // cfg.line_size
+        return tag in self._sets[tag % cfg.num_sets]

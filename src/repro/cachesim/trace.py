@@ -1,0 +1,102 @@
+"""Address-trace generators for wavelet filtering sweeps.
+
+A trace is an iterator of byte addresses fed to :class:`TraceCache`.  The
+generators encode the exact memory-access schedules the analytic model of
+:mod:`repro.cachesim.analytic` counts, so the two can be validated against
+each other:
+
+- **Column-at-a-time lifting** (naive / padded strategies): each column
+  is fully transformed -- all ``n_passes`` lifting sweeps -- before the
+  next column starts, as in the reference codecs.  At every row a lifting
+  step touches the row and its two vertical neighbours (predict/update
+  locality window of three rows).
+- **Fused aggregated filtering** (the paper's improvement): one pass per
+  group of ``aggregation`` adjacent columns; every input row of the group
+  is read exactly once and its contribution accumulated into buffered
+  partial outputs ("the results of the different columns have to be
+  buffered"), so one cache-line fill serves the whole group and all taps.
+- **Row filtering** (horizontal): each row is fully transformed before
+  the next, walking memory sequentially.
+
+Only data *reads* are traced; in-place writes land on just-read lines and
+scale all schedules by the same constant, which the cost-model calibration
+owns.  Addresses are for a row-major array starting at ``base`` whose rows
+are ``sweep.row_stride_bytes`` apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..wavelet.strategies import Sweep
+
+__all__ = [
+    "column_filter_trace",
+    "aggregated_filter_trace",
+    "row_filter_trace",
+    "sweep_trace",
+]
+
+
+def column_filter_trace(sweep: Sweep, n_passes: int, base: int = 0) -> Iterator[int]:
+    """Trace of column-at-a-time lifting (naive / padded strategies)."""
+    stride = sweep.row_stride_bytes
+    elem = sweep.elem_size
+    rows = sweep.n_along
+    for col in range(sweep.n_lines):
+        col_base = base + col * elem
+        for _ in range(n_passes):
+            for row in range(rows):
+                above = row - 1 if row > 0 else 0
+                below = row + 1 if row + 1 < rows else rows - 1
+                yield col_base + above * stride
+                yield col_base + row * stride
+                yield col_base + below * stride
+
+
+def aggregated_filter_trace(sweep: Sweep, base: int = 0) -> Iterator[int]:
+    """Trace of the fused, aggregated-columns vertical filter.
+
+    Single streaming pass: each row of each column group is read once;
+    partial filter outputs live in registers / a local buffer and are not
+    traced.
+    """
+    stride = sweep.row_stride_bytes
+    elem = sweep.elem_size
+    rows = sweep.n_along
+    for group_start in range(0, sweep.n_lines, sweep.aggregation):
+        group_stop = min(group_start + sweep.aggregation, sweep.n_lines)
+        for row in range(rows):
+            addr_row = base + row * stride
+            for col in range(group_start, group_stop):
+                yield addr_row + col * elem
+
+
+def row_filter_trace(sweep: Sweep, n_passes: int, base: int = 0) -> Iterator[int]:
+    """Trace of horizontal (row) filtering: sequential with a 3-tap window."""
+    stride = sweep.row_stride_bytes
+    elem = sweep.elem_size
+    cols = sweep.n_along  # for horizontal sweeps n_along counts columns
+    for row in range(sweep.n_lines):
+        row_base = base + row * stride
+        for _ in range(n_passes):
+            for col in range(cols):
+                left = col - 1 if col > 0 else 0
+                right = col + 1 if col + 1 < cols else cols - 1
+                yield row_base + left * elem
+                yield row_base + col * elem
+                yield row_base + right * elem
+
+
+def sweep_trace(sweep: Sweep, n_passes: int, base: int = 0) -> Iterator[int]:
+    """Dispatch to the right generator for a planned sweep.
+
+    ``n_passes`` is the number of lifting passes for column-at-a-time /
+    row sweeps; aggregated vertical sweeps (``sweep.aggregation > 1``)
+    are fused into a single streaming pass.
+    """
+    if sweep.direction == "horizontal":
+        return row_filter_trace(sweep, n_passes, base)
+    if sweep.aggregation > 1:
+        return aggregated_filter_trace(sweep, base)
+    return column_filter_trace(sweep, n_passes, base)

@@ -1,0 +1,159 @@
+"""Command-line interface: encode/decode PGM images, inspect streams.
+
+Usage::
+
+    python -m repro encode input.pgm output.rj2k [--lossless] [--bpp 0.5 ...]
+    python -m repro decode output.rj2k roundtrip.pgm [--layer K]
+    python -m repro info   output.rj2k
+    python -m repro synth  test.pgm --side 512 [--kind mix] [--seed 0]
+    python -m repro experiments [--quick] [-o EXPERIMENTS.md]
+
+The codestream format is this library's own (structurally JPEG2000-like;
+see DESIGN.md); ``info`` prints its parameters and tile layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .codec import CodecParams, decode_image, encode_image
+from .image import SyntheticSpec, psnr, read_pnm, synthetic_image, write_pnm
+from .tier2.codestream import read_codestream
+
+__all__ = ["main"]
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    img = read_pnm(args.input)
+    if img.ndim == 3 and args.lossless is False and args.filter == "5/3":
+        pass  # color supported on both paths
+    params = CodecParams(
+        levels=args.levels,
+        filter_name="5/3" if args.lossless else args.filter,
+        cb_size=args.cb_size,
+        base_step=args.step,
+        target_bpp=tuple(args.bpp) if args.bpp else None,
+        tile_size=args.tile_size,
+    )
+    result = encode_image(img, params)
+    with open(args.output, "wb") as fh:
+        fh.write(result.data)
+    h, w = result.image_shape
+    print(
+        f"{args.input}: {h}x{w} -> {result.n_bytes} bytes "
+        f"({result.rate_bpp():.3f} bpp), {len(result.blocks)} code-blocks"
+    )
+    if args.verify:
+        rec = decode_image(result.data)
+        if params.filter_name == "5/3" and params.target_bpp is None:
+            ok = np.array_equal(rec, img)
+            print(f"verify: lossless round-trip {'OK' if ok else 'FAILED'}")
+            return 0 if ok else 1
+        print(f"verify: PSNR {psnr(img, rec):.2f} dB")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        data = fh.read()
+    img = decode_image(data, max_layer=args.layer)
+    write_pnm(args.output, img)
+    kind = "PPM" if img.ndim == 3 else "PGM"
+    print(f"{args.input} -> {args.output} ({kind}, {img.shape[0]}x{img.shape[1]})")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        data = fh.read()
+    stream = read_codestream(data)
+    p = stream.params
+    print(f"codestream: {len(data)} bytes")
+    print(f"  image      : {p.height}x{p.width}, {p.bit_depth}-bit, "
+          f"{p.n_components} component(s)")
+    print(f"  transform  : {p.levels}-level {p.filter_name}")
+    print(f"  code-blocks: {p.cb_size}x{p.cb_size}")
+    print(f"  layers     : {p.n_layers}")
+    tiling = f"{p.tile_size}px tiles {p.tile_grid()}" if p.tile_size else "untiled"
+    print(f"  tiling     : {tiling}")
+    print(f"  tile-parts : {len(stream.tiles)}")
+    for tp in stream.tiles[:8]:
+        print(f"    part {tp.index}: {len(tp.packets)} bytes")
+    if len(stream.tiles) > 8:
+        print(f"    ... and {len(stream.tiles) - 8} more")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    img = synthetic_image(
+        SyntheticSpec(args.side, args.side, args.kind, seed=args.seed)
+    )
+    write_pnm(args.output, img)
+    print(f"wrote {args.output}: {args.side}x{args.side} '{args.kind}' (seed {args.seed})")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.report import main as report_main
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    argv += ["-o", args.output]
+    return report_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    enc = sub.add_parser("encode", help="encode a PGM/PPM image")
+    enc.add_argument("input")
+    enc.add_argument("output")
+    enc.add_argument("--lossless", action="store_true", help="reversible 5/3 path")
+    enc.add_argument("--filter", choices=("9/7", "5/3"), default="9/7")
+    enc.add_argument("--levels", type=int, default=5)
+    enc.add_argument("--cb-size", type=int, default=64)
+    enc.add_argument("--step", type=float, default=1 / 64, help="base quantizer step")
+    enc.add_argument(
+        "--bpp", type=float, nargs="*", default=None,
+        help="cumulative layer rates in bits/pixel (ascending)",
+    )
+    enc.add_argument("--tile-size", type=int, default=0)
+    enc.add_argument("--verify", action="store_true", help="decode and check")
+    enc.set_defaults(fn=_cmd_encode)
+
+    dec = sub.add_parser("decode", help="decode to PGM/PPM")
+    dec.add_argument("input")
+    dec.add_argument("output")
+    dec.add_argument("--layer", type=int, default=None, help="highest layer to decode")
+    dec.set_defaults(fn=_cmd_decode)
+
+    info = sub.add_parser("info", help="print codestream parameters")
+    info.add_argument("input")
+    info.set_defaults(fn=_cmd_info)
+
+    synth = sub.add_parser("synth", help="generate a synthetic test image")
+    synth.add_argument("output")
+    synth.add_argument("--side", type=int, default=512)
+    synth.add_argument("--kind", choices=("mix", "fbm", "edges", "texture"), default="mix")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.set_defaults(fn=_cmd_synth)
+
+    exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
+    exp.add_argument("--quick", action="store_true")
+    exp.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    exp.set_defaults(fn=_cmd_experiments)
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

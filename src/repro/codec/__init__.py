@@ -1,0 +1,40 @@
+"""The JPEG2000-style codec: full encoder and decoder pipelines.
+
+This package wires the substrates together into the coding pipeline of
+the paper's Fig. 1:
+
+    image I/O -> pipeline setup -> inter-component transform ->
+    intra-component (wavelet) transform -> quantization ->
+    tier-1 coding -> rate allocation -> tier-2 coding -> bitstream I/O
+
+Every stage is instrumented: the encoder returns an
+:class:`~repro.codec.instrument.EncoderReport` with wall-clock seconds
+and *work statistics* per stage (filter-sweep geometry, tier-1 decision
+counts, bytes moved).  The work statistics are what
+:mod:`repro.perf` converts into simulated milliseconds on the paper's
+machines -- the wall-clock numbers are Python-implementation artifacts
+and are never compared against the paper.
+
+Tiling (``CodecParams.tile_size``) runs the whole transform-and-code
+pipeline independently per tile, exactly the "traditional" JPEG-style
+parallelization whose quality collapse Fig. 5 documents.
+"""
+
+from .params import CodecParams
+from .instrument import EncoderReport, StageStats
+from .blocks import BandLayout, BlockInfo, band_layouts, resolution_bands
+from .encoder import encode_image, EncodeResult
+from .decoder import decode_image
+
+__all__ = [
+    "CodecParams",
+    "EncoderReport",
+    "StageStats",
+    "BandLayout",
+    "BlockInfo",
+    "band_layouts",
+    "resolution_bands",
+    "encode_image",
+    "EncodeResult",
+    "decode_image",
+]

@@ -1,0 +1,112 @@
+"""Code-block partitioning of subbands and resolution ordering.
+
+Deterministic geometry shared by encoder, decoder and the performance
+model: given image/tile dimensions and codec parameters, both ends derive
+identical subband shapes, code-block grids and packet ordering without
+any side channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..wavelet.dwt2d import subband_shapes
+
+__all__ = ["BlockInfo", "BandLayout", "band_layouts", "resolution_bands"]
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One code-block's position within its subband."""
+
+    level: int
+    orient: str
+    by: int
+    bx: int
+    y0: int
+    x0: int
+    height: int
+    width: int
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.height, self.width)
+
+    @property
+    def n_samples(self) -> int:
+        return self.height * self.width
+
+
+@dataclass(frozen=True)
+class BandLayout:
+    """Code-block grid of one subband."""
+
+    level: int
+    orient: str
+    height: int
+    width: int
+    cb_size: int
+
+    @property
+    def grid(self) -> Tuple[int, int]:
+        """(rows, cols) of code-blocks; (0, 0) for an empty band."""
+        if self.height == 0 or self.width == 0:
+            return (0, 0)
+        return (
+            -(-self.height // self.cb_size),
+            -(-self.width // self.cb_size),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.height == 0 or self.width == 0
+
+    def blocks(self) -> List[BlockInfo]:
+        """All code-blocks in raster order."""
+        gh, gw = self.grid
+        out: List[BlockInfo] = []
+        for by in range(gh):
+            for bx in range(gw):
+                y0 = by * self.cb_size
+                x0 = bx * self.cb_size
+                out.append(
+                    BlockInfo(
+                        level=self.level,
+                        orient=self.orient,
+                        by=by,
+                        bx=bx,
+                        y0=y0,
+                        x0=x0,
+                        height=min(self.cb_size, self.height - y0),
+                        width=min(self.cb_size, self.width - x0),
+                    )
+                )
+        return out
+
+
+def band_layouts(height: int, width: int, levels: int, cb_size: int) -> Dict[Tuple[int, str], BandLayout]:
+    """Layouts of every subband of a decomposition, keyed (level, orient)."""
+    shapes = subband_shapes(height, width, levels)
+    out: Dict[Tuple[int, str], BandLayout] = {}
+    ll_h, ll_w = shapes[(levels, "LL")] if levels else (height, width)
+    out[(levels, "LL")] = BandLayout(levels, "LL", ll_h, ll_w, cb_size)
+    for level in range(1, levels + 1):
+        for orient in ("HL", "LH", "HH"):
+            h, w = shapes[(level, orient)]
+            out[(level, orient)] = BandLayout(level, orient, h, w, cb_size)
+    return out
+
+
+def resolution_bands(levels: int) -> List[List[Tuple[int, str]]]:
+    """Subbands of each resolution in packet order.
+
+    Resolution 0 is the deepest LL; resolution ``r`` (1..levels) adds the
+    detail bands of decomposition level ``levels - r + 1``.  Within a
+    resolution the band order is HL, LH, HH (the standard's).
+    """
+    out: List[List[Tuple[int, str]]] = [[(levels, "LL")]]
+    for r in range(1, levels + 1):
+        level = levels - r + 1
+        out.append([(level, "HL"), (level, "LH"), (level, "HH")])
+    return out

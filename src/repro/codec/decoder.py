@@ -1,0 +1,278 @@
+"""The decoder pipeline: codestream -> image.
+
+Mirrors :mod:`repro.codec.encoder` stage by stage: parse the container,
+read packets per tile in LRCP order, tier-1 decode every included
+code-block (honoring truncation points), dequantize, inverse transform,
+undo the level shift and reassemble tiles.
+
+``max_layer`` allows decoding only a prefix of the quality layers -- the
+scalable-bitstream property the paper highlights ("transmitting each bit
+layer corresponds to a certain distortion level").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ebcot.t1 import decode_codeblock
+from ..quant.deadzone import DeadzoneQuantizer
+from ..tier2.codestream import read_codestream
+from ..tier2.packet import PacketReader
+from ..wavelet.dwt2d import Subbands, idwt2d, subband_shapes
+from .blocks import band_layouts, resolution_bands
+from .params import CodecParams
+
+__all__ = ["decode_image"]
+
+
+def decode_image(
+    data: bytes, max_layer: Optional[int] = None, n_workers: int = 1
+) -> np.ndarray:
+    """Decode a codestream produced by :func:`repro.codec.encode_image`.
+
+    Parameters
+    ----------
+    data:
+        The codestream bytes.
+    max_layer:
+        Decode only quality layers ``0..max_layer`` (None = all).
+    n_workers:
+        Tier-1 decode the independent code-blocks on a thread pool with
+        the paper's staggered round-robin schedule (the decoder-side twin
+        of the paper's parallel encoding stage; see the ``ext_decoder``
+        experiment).  Results are identical for any worker count.
+
+    Returns
+    -------
+    numpy.ndarray
+        The reconstructed image, dtype ``uint8``/``uint16`` by bit depth.
+    """
+    stream = read_codestream(data)
+    p = stream.params
+    cparams = CodecParams(
+        levels=p.levels,
+        filter_name=p.filter_name,
+        cb_size=p.cb_size,
+        base_step=p.base_step,
+        tile_size=p.tile_size,
+        bit_depth=p.bit_depth,
+    )
+    n_layers = p.n_layers if max_layer is None else min(p.n_layers, max_layer + 1)
+    shift = 1 << (p.bit_depth - 1)
+    planes = [
+        np.zeros((p.height, p.width), dtype=np.float64)
+        for _ in range(p.n_components)
+    ]
+
+    tile_size = p.tile_size if p.tile_size > 0 else max(p.height, p.width)
+    part_idx = 0
+    for y0 in range(0, p.height, tile_size):
+        for x0 in range(0, p.width, tile_size):
+            tile_h = min(tile_size, p.height - y0)
+            tile_w = min(tile_size, p.width - x0)
+            for comp in range(p.n_components):
+                tile = _decode_tile(
+                    stream.tiles[part_idx].packets,
+                    tile_h,
+                    tile_w,
+                    cparams,
+                    p.n_layers,
+                    n_layers,
+                    roi_shift=p.roi_shift,
+                    n_workers=n_workers,
+                )
+                planes[comp][y0 : y0 + tile_h, x0 : x0 + tile_w] = tile
+                part_idx += 1
+
+    if p.n_components == 3:
+        from .color import ict_inverse, rct_inverse
+
+        if p.filter_name == "5/3":
+            out = rct_inverse(
+                np.rint(planes[0]).astype(np.int64),
+                np.rint(planes[1]).astype(np.int64),
+                np.rint(planes[2]).astype(np.int64),
+            ).astype(np.float64)
+        else:
+            out = ict_inverse(planes[0], planes[1], planes[2])
+    else:
+        out = planes[0]
+
+    out += shift
+    peak = (1 << p.bit_depth) - 1
+    out = np.clip(np.rint(out), 0, peak)
+    return out.astype(np.uint8 if p.bit_depth <= 8 else np.uint16)
+
+
+def _decode_tile(
+    payload: bytes,
+    tile_h: int,
+    tile_w: int,
+    params: CodecParams,
+    n_layers_total: int,
+    n_layers_decode: int,
+    roi_shift: int = 0,
+    n_workers: int = 1,
+) -> np.ndarray:
+    """Decode one tile's packet payload into pixel values (pre-shift)."""
+    pos = 0
+    eff_levels = payload[pos]
+    pos += 1
+    res_bands = resolution_bands(eff_levels)
+    layouts = band_layouts(tile_h, tile_w, eff_levels, params.cb_size)
+
+    band_max: Dict[Tuple[int, str], int] = {}
+    for bands in res_bands:
+        for key in bands:
+            band_max[key] = payload[pos]
+            pos += 1
+
+    readers: List[Optional[PacketReader]] = []
+    res_keys: List[List[Tuple[int, str]]] = []
+    for bands in res_bands:
+        keys = [k for k in bands if not layouts[k].is_empty]
+        res_keys.append(keys)
+        readers.append(PacketReader([layouts[k].grid for k in keys]) if keys else None)
+
+    # Accumulate contributions per block across layers.
+    acc: Dict[Tuple[Tuple[int, str], int, int], List] = {}
+    for layer in range(n_layers_total):
+        for r, reader in enumerate(readers):
+            if reader is None:
+                continue
+            contribs, consumed = reader.read_packet(payload[pos:], layer)
+            pos += consumed
+            if layer >= n_layers_decode:
+                continue
+            for b_idx, key in enumerate(res_keys[r]):
+                gh, gw = layouts[key].grid
+                for by in range(gh):
+                    for bx in range(gw):
+                        c = contribs[b_idx][by][bx]
+                        if not c.included:
+                            continue
+                        entry = acc.setdefault((key, by, bx), [0, bytearray()])
+                        entry[0] += c.n_new_passes
+                        entry[1] += c.data
+
+    quantizer = (
+        DeadzoneQuantizer(params.base_step, params.filter_name)
+        if params.filter_name == "9/7"
+        else None
+    )
+    shapes = subband_shapes(tile_h, tile_w, eff_levels)
+
+    # Tier-1 decode every included block (optionally on a worker pool --
+    # code-block decoding is as independent as encoding).
+    jobs = []
+    job_keys = []
+    for r_idx, keys in enumerate(res_keys):
+        reader = readers[r_idx]
+        if reader is None:
+            continue
+        for b_idx, key in enumerate(keys):
+            layout = layouts[key]
+            for binfo in layout.blocks():
+                entry = acc.get((key, binfo.by, binfo.bx))
+                if entry is None:
+                    continue
+                n_passes, blk_data = entry
+                zp = int(reader.zero_planes[b_idx][binfo.by, binfo.bx])
+                n_planes = band_max[key] - zp
+                jobs.append(
+                    (bytes(blk_data), binfo.shape, layout.orient, n_planes, n_passes)
+                )
+                job_keys.append((key, binfo.by, binfo.bx))
+    if n_workers > 1 and len(jobs) > 1:
+        from ..core.parallel import parallel_decode_blocks
+
+        outs = parallel_decode_blocks(jobs, n_workers=n_workers)
+    else:
+        outs = [decode_codeblock(*job) for job in jobs]
+    decoded = dict(zip(job_keys, outs))
+
+    def band_array(key: Tuple[int, str]) -> np.ndarray:
+        layout = layouts[key]
+        if quantizer is None:
+            band = np.zeros((layout.height, layout.width), dtype=np.int64)
+        else:
+            band = np.zeros((layout.height, layout.width), dtype=np.float64)
+        r_idx = _resolution_of(key, eff_levels)
+        reader = readers[r_idx]
+        if reader is None:
+            return band
+        for binfo in layout.blocks():
+            out = decoded.get((key, binfo.by, binfo.bx))
+            if out is None:
+                continue
+            values, last_plane = out
+            slot = (
+                slice(binfo.y0, binfo.y0 + binfo.height),
+                slice(binfo.x0, binfo.x0 + binfo.width),
+            )
+            if roi_shift:
+                # Max-shift ROI: magnitudes >= 2**shift are ROI samples;
+                # unscale them and reconstruct with the *unshifted*
+                # uncertainty interval (their decoded planes sit shift
+                # planes higher than background planes).
+                from .roi import remove_max_shift
+
+                is_roi = np.abs(values) >= (1 << roi_shift)
+                unshifted = remove_max_shift(values, roi_shift)
+                lp_roi = max(0, last_plane - roi_shift)
+                if quantizer is None:
+                    band[slot] = np.where(
+                        is_roi,
+                        _midpoint_int(unshifted, lp_roi),
+                        _midpoint_int(values, last_plane),
+                    )
+                else:
+                    band[slot] = np.where(
+                        is_roi,
+                        quantizer.dequantize_band(
+                            unshifted, layout.level, layout.orient, lp_roi
+                        ),
+                        quantizer.dequantize_band(
+                            values, layout.level, layout.orient, last_plane
+                        ),
+                    )
+            elif quantizer is None:
+                band[slot] = _midpoint_int(values, last_plane)
+            else:
+                band[slot] = quantizer.dequantize_band(
+                    values, layout.level, layout.orient, last_plane
+                )
+        return band
+
+    if eff_levels == 0:
+        ll = band_array((0, "LL"))
+        return ll.astype(np.float64)
+
+    details = []
+    for level in range(1, eff_levels + 1):
+        details.append({o: band_array((level, o)) for o in ("HL", "LH", "HH")})
+    ll = band_array((eff_levels, "LL"))
+    sb = Subbands(
+        ll=ll, details=details, shape=(tile_h, tile_w), filter_name=params.filter_name
+    )
+    rec = idwt2d(sb)
+    return np.asarray(rec, dtype=np.float64)
+
+
+def _midpoint_int(values: np.ndarray, last_plane: int) -> np.ndarray:
+    """Midpoint reconstruction for the reversible (integer) path."""
+    if last_plane <= 0:
+        return values
+    mag = np.abs(values)
+    rec = np.where(mag > 0, mag + (1 << (last_plane - 1)), 0)
+    return np.sign(values) * rec
+
+
+def _resolution_of(key: Tuple[int, str], eff_levels: int) -> int:
+    """Resolution index of a subband key (inverse of resolution_bands)."""
+    level, orient = key
+    if orient == "LL":
+        return 0
+    return eff_levels - level + 1

@@ -1,0 +1,99 @@
+"""Per-stage instrumentation of the coding pipeline.
+
+Collects, per pipeline stage, wall-clock seconds (a Python artifact, for
+profiling only) and the *work statistics* the performance model consumes:
+sweep geometry for the DWT, MQ decision counts for tier-1, sample and
+byte counts elsewhere.  Stage names follow Fig. 3 of the paper:
+
+    image I/O, pipeline setup, inter-component transform,
+    intra-component transform, quantization, tier-1 coding,
+    R/D allocation, tier-2 coding, bitstream I/O
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["StageStats", "EncoderReport", "STAGE_NAMES"]
+
+#: Canonical stage order (Fig. 3's legend, bottom to top).
+STAGE_NAMES = (
+    "image I/O",
+    "pipeline setup",
+    "inter-component transform",
+    "intra-component transform",
+    "quantization",
+    "tier-1 coding",
+    "R/D allocation",
+    "tier-2 coding",
+    "bitstream I/O",
+)
+
+
+@dataclass
+class StageStats:
+    """One stage's measurements."""
+
+    name: str
+    seconds: float = 0.0
+    work: Dict[str, Any] = field(default_factory=dict)
+
+    def add_work(self, **counters: Any) -> None:
+        """Accumulate work counters (numbers add; lists extend)."""
+        for key, value in counters.items():
+            if isinstance(value, list):
+                self.work.setdefault(key, []).extend(value)
+            else:
+                self.work[key] = self.work.get(key, 0) + value
+
+
+@dataclass
+class EncoderReport:
+    """Instrumentation for one encode run."""
+
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageStats:
+        if name not in STAGE_NAMES:
+            raise ValueError(f"unknown stage {name!r}")
+        if name not in self.stages:
+            self.stages[name] = StageStats(name)
+        return self.stages[name]
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[StageStats]:
+        """Context manager accumulating wall time into a stage."""
+        st = self.stage(name)
+        t0 = time.perf_counter()
+        try:
+            yield st
+        finally:
+            st.seconds += time.perf_counter() - t0
+
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages.values())
+
+    def seconds_by_stage(self) -> Dict[str, float]:
+        """Wall seconds per stage in canonical order."""
+        return {
+            name: self.stages[name].seconds
+            for name in STAGE_NAMES
+            if name in self.stages
+        }
+
+    def merged(self, other: "EncoderReport") -> "EncoderReport":
+        """Combine two reports (e.g. per-tile runs)."""
+        out = EncoderReport()
+        for rep in (self, other):
+            for name, st in rep.stages.items():
+                tgt = out.stage(name)
+                tgt.seconds += st.seconds
+                for key, value in st.work.items():
+                    if isinstance(value, list):
+                        tgt.work.setdefault(key, []).extend(value)
+                    else:
+                        tgt.work[key] = tgt.work.get(key, 0) + value
+        return out

@@ -1,0 +1,108 @@
+"""Region-of-interest coding via the max-shift method (T.800 Annex H).
+
+The paper's pipeline figure lists "ROI Scaling" among the entropy-coding
+pipeline stages.  The max-shift method needs no ROI geometry in the
+codestream: the encoder scales every ROI coefficient up by ``2**s`` with
+``s`` chosen so the *smallest shifted ROI* magnitude still exceeds the
+*largest background* magnitude; the decoder classifies by magnitude alone
+(``|q| >= 2**s`` means ROI) and scales back.  Because the bit-plane coder
+emits most-significant planes first, ROI coefficients are decoded --
+completely -- before any background detail arrives, at every truncation
+point.
+
+The image-domain ROI mask maps into each subband by decimation with a
+one-coefficient dilation (a wavelet coefficient at level ``l`` covers a
+``~2**l`` pixel footprint plus filter support).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["band_roi_mask", "apply_max_shift", "remove_max_shift", "roi_shift_for"]
+
+
+def band_roi_mask(mask: np.ndarray, level: int, band_shape: Tuple[int, int]) -> np.ndarray:
+    """ROI mask of one subband from the image-domain mask.
+
+    Decimates the mask by ``2**level`` (a coefficient is ROI if any pixel
+    of its dyadic footprint is) and dilates by one coefficient for filter
+    support.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    h, w = band_shape
+    if h == 0 or w == 0:
+        return np.zeros(band_shape, dtype=bool)
+    factor = 1 << level
+    # Pad the image mask up to a multiple of the decimation factor.
+    ph = h * factor
+    pw = w * factor
+    padded = np.zeros((ph, pw), dtype=bool)
+    mh = min(mask.shape[0], ph)
+    mw = min(mask.shape[1], pw)
+    padded[:mh, :mw] = mask[:mh, :mw]
+    pooled = padded.reshape(h, factor, w, factor).any(axis=(1, 3))
+    # One-coefficient dilation (filter support straddles footprints).
+    dil = pooled.copy()
+    dil[1:, :] |= pooled[:-1, :]
+    dil[:-1, :] |= pooled[1:, :]
+    dil[:, 1:] |= pooled[:, :-1]
+    dil[:, :-1] |= pooled[:, 1:]
+    return dil
+
+
+def roi_shift_for(
+    qbands: Dict[Tuple[int, str], np.ndarray],
+    band_masks: Dict[Tuple[int, str], np.ndarray],
+) -> int:
+    """The max-shift scaling exponent ``s``.
+
+    ``s`` is the bit length of the largest *background* magnitude, so
+    every shifted ROI coefficient strictly dominates the background.
+    """
+    bg_max = 0
+    for key, band in qbands.items():
+        roi = band_masks.get(key)
+        mags = np.abs(band.astype(np.int64))
+        if roi is None or not roi.any():
+            band_bg = int(mags.max(initial=0))
+        else:
+            outside = mags[~roi]
+            band_bg = int(outside.max(initial=0))
+        bg_max = max(bg_max, band_bg)
+    return int(bg_max).bit_length()
+
+
+def apply_max_shift(
+    qbands: Dict[Tuple[int, str], np.ndarray],
+    band_masks: Dict[Tuple[int, str], np.ndarray],
+    shift: int,
+) -> Dict[Tuple[int, str], np.ndarray]:
+    """Scale ROI coefficients up by ``2**shift`` (returns new arrays)."""
+    out: Dict[Tuple[int, str], np.ndarray] = {}
+    for key, band in qbands.items():
+        roi = band_masks.get(key)
+        b = band.astype(np.int64)
+        if roi is not None and roi.any():
+            b = np.where(roi, b << shift, b)
+        out[key] = b
+    return out
+
+
+def remove_max_shift(values: np.ndarray, shift: int) -> np.ndarray:
+    """Decoder side: classify by magnitude and undo the ROI scaling.
+
+    Magnitudes at or above ``2**shift`` are ROI and scale down; smaller
+    magnitudes are background and pass through.  Works on (possibly
+    truncated) tier-1 output.
+    """
+    if shift <= 0:
+        return values
+    v = np.asarray(values, dtype=np.int64)
+    threshold = 1 << shift
+    mags = np.abs(v)
+    is_roi = mags >= threshold
+    unshifted = np.where(is_roi, np.sign(v) * (mags >> shift), v)
+    return unshifted

@@ -1,0 +1,53 @@
+"""Amdahl's-law analysis (Sec. 3.4 of the paper).
+
+The paper writes the bound as ``speedup = (s + p) / (s + p/n)`` with
+``s`` the runtime of inherently sequential code, ``p`` the potentially
+parallel runtime and ``n`` the processor count, then compares the bound
+against measured speedups: theoretical ~2.5 vs measured 1.85/1.75 on 4
+CPUs, and a ~2.4 ceiling once the improved filtering shrinks the parallel
+share.  These helpers compute the same quantities from simulated (or
+measured) stage breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["amdahl_speedup", "serial_fraction", "theoretical_speedup_from_breakdown"]
+
+
+def amdahl_speedup(serial_time: float, parallel_time: float, n_cpus: int) -> float:
+    """Upper bound on speedup with ``n_cpus`` processors.
+
+    ``serial_time`` and ``parallel_time`` are the single-CPU runtimes of
+    the inherently sequential and parallelizable code sections (any common
+    unit).
+    """
+    if n_cpus < 1:
+        raise ValueError("need at least one CPU")
+    if serial_time < 0 or parallel_time < 0:
+        raise ValueError("times must be non-negative")
+    total = serial_time + parallel_time
+    if total == 0:
+        return 1.0
+    return total / (serial_time + parallel_time / n_cpus)
+
+
+def serial_fraction(serial_time: float, parallel_time: float) -> float:
+    """Fraction of single-CPU runtime that cannot be parallelized."""
+    total = serial_time + parallel_time
+    if total <= 0:
+        return 0.0
+    return serial_time / total
+
+
+def theoretical_speedup_from_breakdown(breakdown, n_cpus: int) -> float:
+    """Amdahl bound computed from a serial :class:`StageBreakdown`.
+
+    The parallelizable share is DWT + tier-1 + quantization (the stages
+    the paper parallelizes); everything else is sequential.  Pass a
+    breakdown simulated with ``n_cpus=1``.
+    """
+    seq = breakdown.sequential_ms()
+    par = breakdown.total_ms - seq
+    return amdahl_speedup(seq, par, n_cpus)

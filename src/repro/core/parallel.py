@@ -1,0 +1,269 @@
+"""Real (thread-based) parallel implementations of the paper's methods.
+
+These are the executable counterparts of the techniques the performance
+model simulates -- numerically exact and property-tested against the
+serial paths:
+
+- :func:`parallel_dwt2d` / :func:`parallel_idwt2d`: multilevel transform
+  whose per-level vertical and horizontal sweeps are partitioned
+  statically across a worker pool, with a barrier between directions
+  (the pool's ``map`` is the barrier), exactly the structure of Sec. 3.2.
+- :func:`parallel_encode_blocks`: tier-1 over a worker pool with the
+  paper's staggered round-robin assignment.
+- :func:`parallel_quantize`: coefficient chunks across workers
+  (Sec. 3.3).
+
+Wall-clock note: under CPython's GIL only the NumPy-released portions
+run concurrently, and this container has a single core -- so these
+functions demonstrate and test *correctness* of the parallel
+decomposition; all speedup numbers in the experiments come from the
+deterministic SMP model (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ebcot.t1 import EncodedBlock, decode_codeblock, encode_codeblock
+from ..quant.deadzone import quantize
+from ..smp.pool import staggered_round_robin
+from ..wavelet.dwt2d import Subbands
+from ..wavelet.filters import get_filter
+from ..wavelet.lifting import dwt1d, idwt1d
+
+__all__ = [
+    "parallel_dwt2d",
+    "parallel_idwt2d",
+    "parallel_encode_blocks",
+    "parallel_decode_blocks",
+    "parallel_quantize",
+]
+
+
+def _split_ranges(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Static near-equal contiguous partition of ``range(n)``."""
+    parts = max(1, min(parts, n)) if n else 1
+    base, extra = divmod(n, parts)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def _parallel_1d(
+    data: np.ndarray, bank, pool: Optional[ThreadPoolExecutor], n_workers: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One filtering sweep along axis 0, columns statically partitioned."""
+    n_cols = data.shape[1]
+    n = data.shape[0]
+    n_low, n_high = (n + 1) // 2, n // 2
+    dtype = np.int64 if bank.reversible else np.float64
+    low = np.empty((n_low, n_cols), dtype=dtype)
+    high = np.empty((n_high, n_cols), dtype=dtype)
+    ranges = _split_ranges(n_cols, n_workers)
+
+    def work(rng: Tuple[int, int]) -> None:
+        a, b = rng
+        if a == b:
+            return
+        lo, hi = dwt1d(data[:, a:b], bank)
+        low[:, a:b] = lo
+        high[:, a:b] = hi
+
+    if pool is None or len(ranges) == 1:
+        for rng in ranges:
+            work(rng)
+    else:
+        # pool.map is the barrier: all column slabs finish before return.
+        list(pool.map(work, ranges))
+    return low, high
+
+
+def parallel_dwt2d(
+    image: np.ndarray, levels: int, filter_name: str = "9/7", n_workers: int = 1
+) -> Subbands:
+    """Multilevel 2-D DWT with statically partitioned parallel sweeps.
+
+    Bit-identical to :func:`repro.wavelet.dwt2d` (tested): parallelism
+    only re-orders independent column/row slabs.  A barrier separates the
+    vertical and horizontal filtering of each level, as in the paper.
+    """
+    bank = get_filter(filter_name)
+    a = np.asarray(image)
+    if a.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    current = a if bank.reversible else np.asarray(a, dtype=np.float64)
+    details: List[Dict[str, np.ndarray]] = []
+    pool = ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
+    try:
+        for _ in range(levels):
+            low_v, high_v = _parallel_1d(current, bank, pool, n_workers)
+            ll_t, hl_t = _parallel_1d(np.ascontiguousarray(low_v.T), bank, pool, n_workers)
+            lh_t, hh_t = _parallel_1d(np.ascontiguousarray(high_v.T), bank, pool, n_workers)
+            details.append(
+                {
+                    "HL": np.ascontiguousarray(hl_t.T),
+                    "LH": np.ascontiguousarray(lh_t.T),
+                    "HH": np.ascontiguousarray(hh_t.T),
+                }
+            )
+            current = np.ascontiguousarray(ll_t.T)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return Subbands(ll=current, details=details, shape=a.shape, filter_name=filter_name)
+
+
+def parallel_idwt2d(subbands: Subbands, n_workers: int = 1) -> np.ndarray:
+    """Inverse of :func:`parallel_dwt2d` with the same partitioning."""
+    bank = get_filter(subbands.filter_name)
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    pool = ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
+
+    def inv_sweep(low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        n_cols = low.shape[1]
+        ranges = _split_ranges(n_cols, n_workers)
+        n = low.shape[0] + high.shape[0]
+        out = np.empty((n, n_cols), dtype=np.int64 if bank.reversible else np.float64)
+
+        def work(rng: Tuple[int, int]) -> None:
+            a, b = rng
+            if a == b:
+                return
+            out[:, a:b] = idwt1d(low[:, a:b], high[:, a:b], bank)
+
+        if pool is None or len(ranges) == 1:
+            for rng in ranges:
+                work(rng)
+        else:
+            list(pool.map(work, ranges))
+        return out
+
+    try:
+        current = subbands.ll
+        for level in range(subbands.levels, 0, -1):
+            bands = subbands.details[level - 1]
+            low_v = inv_sweep(
+                np.ascontiguousarray(current.T), np.ascontiguousarray(bands["HL"].T)
+            ).T
+            high_v = inv_sweep(
+                np.ascontiguousarray(bands["LH"].T), np.ascontiguousarray(bands["HH"].T)
+            ).T
+            current = inv_sweep(
+                np.ascontiguousarray(low_v), np.ascontiguousarray(high_v)
+            )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return current
+
+
+def parallel_encode_blocks(
+    blocks: Sequence[Tuple[np.ndarray, str]],
+    n_workers: int = 1,
+    scheduler=staggered_round_robin,
+) -> List[EncodedBlock]:
+    """Tier-1 code every block on a worker pool.
+
+    ``blocks`` are ``(coefficients, orientation)`` pairs in scan order;
+    the scheduler (default: the paper's staggered round robin) deals them
+    to workers.  Results return in the input order regardless of the
+    schedule.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    indexed = list(enumerate(blocks))
+    results: List[Optional[EncodedBlock]] = [None] * len(indexed)
+    if n_workers == 1 or len(indexed) <= 1:
+        for i, (coeffs, orient) in indexed:
+            results[i] = encode_codeblock(coeffs, orient)
+        return [r for r in results if r is not None]
+    assignment = scheduler(indexed, n_workers)
+
+    def work(items) -> None:
+        for i, (coeffs, orient) in items:
+            results[i] = encode_codeblock(coeffs, orient)
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        list(pool.map(work, assignment))
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"blocks not coded: {missing}")
+    return [r for r in results if r is not None]
+
+
+def parallel_decode_blocks(
+    blocks: Sequence[Tuple[bytes, Tuple[int, int], str, int, Optional[int]]],
+    n_workers: int = 1,
+    scheduler=staggered_round_robin,
+) -> List[Tuple["np.ndarray", int]]:
+    """Tier-1 decode every block on a worker pool (decoder-side twin of
+    :func:`parallel_encode_blocks`).
+
+    ``blocks`` are ``(data, shape, orient, n_planes, n_passes)`` tuples;
+    results return in input order.  Code-block *decoding* is just as
+    independent as encoding -- the extension study
+    (``repro.experiments.ext_decoder``) quantifies the resulting scaling.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    indexed = list(enumerate(blocks))
+    results: List[Optional[Tuple[np.ndarray, int]]] = [None] * len(indexed)
+
+    def decode_one(args) -> Tuple[np.ndarray, int]:
+        data, shape, orient, n_planes, n_passes = args
+        return decode_codeblock(data, shape, orient, n_planes, n_passes)
+
+    if n_workers == 1 or len(indexed) <= 1:
+        for i, args in indexed:
+            results[i] = decode_one(args)
+        return [r for r in results if r is not None]
+    assignment = scheduler(indexed, n_workers)
+
+    def work(items) -> None:
+        for i, args in items:
+            results[i] = decode_one(args)
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        list(pool.map(work, assignment))
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"blocks not decoded: {missing}")
+    return [r for r in results if r is not None]
+
+
+def parallel_quantize(
+    coeffs: np.ndarray, step: float, n_workers: int = 1
+) -> np.ndarray:
+    """Dead-zone quantization with coefficient chunks across workers.
+
+    "Every processor may have a chunk of coefficients from the wavelet
+    transform which it has to quantize" (Sec. 3.3).
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    flat = np.ascontiguousarray(coeffs).reshape(-1)
+    out = np.empty(flat.shape, dtype=np.int32)
+    ranges = _split_ranges(flat.size, n_workers)
+
+    def work(rng: Tuple[int, int]) -> None:
+        a, b = rng
+        if a != b:
+            out[a:b] = quantize(flat[a:b], step)
+
+    if n_workers == 1 or len(ranges) == 1:
+        for rng in ranges:
+            work(rng)
+    else:
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            list(pool.map(work, ranges))
+    return out.reshape(coeffs.shape)

@@ -1,0 +1,92 @@
+"""Speedup bookkeeping shared by the figure experiments.
+
+The paper plots two kinds of speedup and is explicit about the
+distinction (Sec. 3.3):
+
+- speedup **versus the original serial code** (Figs. 11, 12) -- includes
+  the sequential-optimization gain of the improved filtering, hence the
+  "superlinear" curves;
+- **classical** speedup versus the fastest serial code, i.e. the
+  filtering-optimized version (Fig. 13).
+
+:class:`SpeedupSeries` carries the reference convention along with the
+numbers so reports cannot mix them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["SpeedupSeries", "speedup_curve", "efficiency"]
+
+
+@dataclass
+class SpeedupSeries:
+    """Speedups over a CPU range relative to a named reference time."""
+
+    label: str
+    reference_label: str
+    reference_ms: float
+    cpus: Tuple[int, ...]
+    times_ms: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cpus) != len(self.times_ms):
+            raise ValueError("cpus and times length mismatch")
+        if self.reference_ms <= 0:
+            raise ValueError("reference time must be positive")
+
+    @property
+    def speedups(self) -> Tuple[float, ...]:
+        return tuple(self.reference_ms / t for t in self.times_ms)
+
+    def at(self, n_cpus: int) -> float:
+        """Speedup at a specific CPU count."""
+        try:
+            idx = self.cpus.index(n_cpus)
+        except ValueError:
+            raise KeyError(f"no sample at {n_cpus} CPUs") from None
+        return self.speedups[idx]
+
+    def max_speedup(self) -> float:
+        return max(self.speedups)
+
+    def saturates(self, tolerance: float = 0.10) -> bool:
+        """True when the last CPU-count doubling gained < ``tolerance``.
+
+        Used by tests to assert the bus-bound saturation of the naive
+        vertical filtering (Fig. 8) without pinning exact values.
+        """
+        if len(self.cpus) < 2:
+            return False
+        return self.speedups[-1] < self.speedups[-2] * (1.0 + tolerance)
+
+    def rows(self) -> List[Tuple[int, float, float]]:
+        """(cpus, time_ms, speedup) rows for table reports."""
+        return [
+            (c, t, s) for c, t, s in zip(self.cpus, self.times_ms, self.speedups)
+        ]
+
+
+def speedup_curve(
+    label: str,
+    time_fn: Callable[[int], float],
+    cpus: Sequence[int],
+    reference_ms: float,
+    reference_label: str,
+) -> SpeedupSeries:
+    """Evaluate ``time_fn`` over ``cpus`` into a :class:`SpeedupSeries`."""
+    times = tuple(float(time_fn(c)) for c in cpus)
+    return SpeedupSeries(
+        label=label,
+        reference_label=reference_label,
+        reference_ms=reference_ms,
+        cpus=tuple(int(c) for c in cpus),
+        times_ms=times,
+    )
+
+
+def efficiency(series: SpeedupSeries) -> Tuple[float, ...]:
+    """Parallel efficiency (speedup / cpus) per sample point."""
+    return tuple(s / c for s, c in zip(series.speedups, series.cpus))

@@ -1,0 +1,112 @@
+"""High-level drivers combining the codec workload with the SMP model.
+
+Each paper figure's experiment module is a thin wrapper over these
+drivers, which produce the timings for one (machine, strategy, CPU-range)
+configuration.  Keeping the drivers here lets tests exercise the whole
+pipeline without duplicating the figure scripts' logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..perf.costmodel import StageBreakdown, simulate_encode
+from ..perf.workmodel import DEFAULT_WORK_PARAMS, WorkParams, Workload
+from ..smp.machine import MachineSpec
+from ..wavelet.strategies import VerticalStrategy
+
+__all__ = [
+    "StudyConfig",
+    "run_parallel_study",
+    "serial_profile",
+    "filtering_profile",
+    "FilteringProfile",
+]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """One parallel-coding study configuration."""
+
+    machine: MachineSpec
+    cpus: Tuple[int, ...]
+    strategy: VerticalStrategy = VerticalStrategy.NAIVE
+    parallel_quant: bool = True
+    params: WorkParams = field(default_factory=lambda: DEFAULT_WORK_PARAMS)
+
+
+def serial_profile(
+    workload: Workload,
+    machine: MachineSpec,
+    strategy: VerticalStrategy = VerticalStrategy.NAIVE,
+    params: WorkParams = DEFAULT_WORK_PARAMS,
+) -> StageBreakdown:
+    """Single-CPU stage profile (the Fig. 3 measurement)."""
+    return simulate_encode(
+        workload, machine, n_cpus=1, strategy=strategy, params=params
+    )
+
+
+def run_parallel_study(
+    workload: Workload, config: StudyConfig
+) -> Dict[int, StageBreakdown]:
+    """Simulate the full pipeline at every CPU count of a config."""
+    out: Dict[int, StageBreakdown] = {}
+    for n in config.cpus:
+        out[n] = simulate_encode(
+            workload,
+            config.machine,
+            n_cpus=n,
+            strategy=config.strategy,
+            params=config.params,
+            parallel_quant=config.parallel_quant,
+        )
+    return out
+
+
+@dataclass
+class FilteringProfile:
+    """Vertical/horizontal filtering times per strategy per CPU count.
+
+    ``times[(strategy, n_cpus)] = (vertical_ms, horizontal_ms)`` -- the
+    data behind Figs. 7, 8, 10 and 11.
+    """
+
+    machine: MachineSpec
+    times: Dict[Tuple[VerticalStrategy, int], Tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def vertical(self, strategy: VerticalStrategy, n_cpus: int) -> float:
+        return self.times[(strategy, n_cpus)][0]
+
+    def horizontal(self, strategy: VerticalStrategy, n_cpus: int) -> float:
+        return self.times[(strategy, n_cpus)][1]
+
+    def vertical_series(self, strategy: VerticalStrategy, cpus: Sequence[int]) -> List[float]:
+        return [self.vertical(strategy, c) for c in cpus]
+
+    def horizontal_series(self, strategy: VerticalStrategy, cpus: Sequence[int]) -> List[float]:
+        return [self.horizontal(strategy, c) for c in cpus]
+
+
+def filtering_profile(
+    workload: Workload,
+    machine: MachineSpec,
+    cpus: Sequence[int],
+    strategies: Sequence[VerticalStrategy] = (
+        VerticalStrategy.NAIVE,
+        VerticalStrategy.AGGREGATED,
+    ),
+    params: WorkParams = DEFAULT_WORK_PARAMS,
+) -> FilteringProfile:
+    """Measure the filtering stages across strategies and CPU counts."""
+    profile = FilteringProfile(machine=machine)
+    for strategy in strategies:
+        for n in cpus:
+            bd = simulate_encode(
+                workload, machine, n_cpus=n, strategy=strategy, params=params
+            )
+            profile.times[(strategy, n)] = (bd.vertical_ms(), bd.horizontal_ms())
+    return profile

@@ -1,0 +1,306 @@
+"""The MQ binary arithmetic coder of JPEG2000 (T.800 Annex C).
+
+A 16-bit multiplier-free arithmetic coder with a 47-state probability
+estimation automaton, byte stuffing after ``0xFF`` bytes, and carry
+resolution.  Encoder and decoder share the state table; every context is
+a (state-index, MPS) pair that adapts as decisions are coded.
+
+The implementation follows the standard's software conventions (28-bit C
+register, ``CT`` countdown, BYTEOUT/BYTEIN).  A fabricated leading byte
+absorbs carry propagation out of the first code byte; it stays in the
+segment (1 byte of overhead per code-block) so encoder and decoder remain
+exact mirrors.  Decoding past the end of a (possibly truncated) segment
+feeds ``1`` bits, per the standard, so truncated streams decode cleanly
+up to their truncation pass.
+
+Round-trip exactness over arbitrary decision/context sequences is
+enforced by property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["MQEncoder", "MQDecoder", "N_STATES"]
+
+# (Qe, NMPS, NLPS, SWITCH) -- T.800 Table C.2.
+_QE_TABLE = (
+    (0x5601, 1, 1, 1),
+    (0x3401, 2, 6, 0),
+    (0x1801, 3, 9, 0),
+    (0x0AC1, 4, 12, 0),
+    (0x0521, 5, 29, 0),
+    (0x0221, 38, 33, 0),
+    (0x5601, 7, 6, 1),
+    (0x5401, 8, 14, 0),
+    (0x4801, 9, 14, 0),
+    (0x3801, 10, 14, 0),
+    (0x3001, 11, 17, 0),
+    (0x2401, 12, 18, 0),
+    (0x1C01, 13, 20, 0),
+    (0x1601, 29, 21, 0),
+    (0x5601, 15, 14, 1),
+    (0x5401, 16, 14, 0),
+    (0x5101, 17, 15, 0),
+    (0x4801, 18, 16, 0),
+    (0x3801, 19, 17, 0),
+    (0x3401, 20, 18, 0),
+    (0x3001, 21, 19, 0),
+    (0x2801, 22, 19, 0),
+    (0x2401, 23, 20, 0),
+    (0x2201, 24, 21, 0),
+    (0x1C01, 25, 22, 0),
+    (0x1801, 26, 23, 0),
+    (0x1601, 27, 24, 0),
+    (0x1401, 28, 25, 0),
+    (0x1201, 29, 26, 0),
+    (0x1101, 30, 27, 0),
+    (0x0AC1, 31, 28, 0),
+    (0x09C1, 32, 29, 0),
+    (0x08A1, 33, 30, 0),
+    (0x0521, 34, 31, 0),
+    (0x0441, 35, 32, 0),
+    (0x02A1, 36, 33, 0),
+    (0x0221, 37, 34, 0),
+    (0x0141, 38, 35, 0),
+    (0x0111, 39, 36, 0),
+    (0x0085, 40, 37, 0),
+    (0x0049, 41, 38, 0),
+    (0x0025, 42, 39, 0),
+    (0x0015, 43, 40, 0),
+    (0x0009, 44, 41, 0),
+    (0x0005, 45, 42, 0),
+    (0x0001, 45, 43, 0),
+    (0x5601, 46, 46, 0),
+)
+
+N_STATES = len(_QE_TABLE)
+
+_QE = tuple(row[0] for row in _QE_TABLE)
+_NMPS = tuple(row[1] for row in _QE_TABLE)
+_NLPS = tuple(row[2] for row in _QE_TABLE)
+_SWITCH = tuple(row[3] for row in _QE_TABLE)
+
+
+class MQEncoder:
+    """MQ encoder over ``n_contexts`` adaptive contexts.
+
+    Use :meth:`encode` per binary decision, :meth:`flush` once at the end,
+    and read the segment from :meth:`get_bytes`.  :meth:`tell_bytes` gives
+    the running segment length used for truncation-point rates.
+    """
+
+    def __init__(self, n_contexts: int, initial_states: Optional[Sequence[int]] = None) -> None:
+        if n_contexts < 1:
+            raise ValueError("need at least one context")
+        self._index = [0] * n_contexts
+        self._mps = [0] * n_contexts
+        if initial_states is not None:
+            if len(initial_states) != n_contexts:
+                raise ValueError("initial_states length mismatch")
+            self._index = list(initial_states)
+        self._a = 0x8000
+        self._c = 0
+        self._ct = 12
+        # Fabricated leading byte: absorbs a carry out of the first real
+        # code byte and stays in the segment.
+        self._buf = bytearray([0])
+        self._flushed = False
+
+    # -- internal machinery -------------------------------------------------
+
+    def _byteout(self) -> None:
+        buf = self._buf
+        if buf[-1] == 0xFF:
+            buf.append((self._c >> 20) & 0xFF)
+            self._c &= 0xFFFFF
+            self._ct = 7
+        else:
+            if self._c < 0x8000000:
+                buf.append((self._c >> 19) & 0xFF)
+                self._c &= 0x7FFFF
+                self._ct = 8
+            else:
+                buf[-1] += 1
+                if buf[-1] == 0xFF:
+                    self._c &= 0x7FFFFFF
+                    buf.append((self._c >> 20) & 0xFF)
+                    self._c &= 0xFFFFF
+                    self._ct = 7
+                else:
+                    buf.append((self._c >> 19) & 0xFF)
+                    self._c &= 0x7FFFF
+                    self._ct = 8
+
+    def _renorm(self) -> None:
+        while True:
+            self._a = (self._a << 1) & 0xFFFF
+            self._c = (self._c << 1) & 0xFFFFFFF
+            self._ct -= 1
+            if self._ct == 0:
+                self._byteout()
+            if self._a & 0x8000:
+                break
+
+    # -- public API ---------------------------------------------------------
+
+    def encode(self, decision: int, context: int) -> None:
+        """Code one binary ``decision`` (0/1) in ``context``."""
+        if self._flushed:
+            raise RuntimeError("encoder already flushed")
+        idx = self._index[context]
+        qe = _QE[idx]
+        if decision == self._mps[context]:
+            self._a -= qe
+            if self._a & 0x8000:
+                self._c += qe
+                return
+            if self._a < qe:
+                self._a = qe
+            else:
+                self._c += qe
+            self._index[context] = _NMPS[idx]
+            self._renorm()
+        else:
+            self._a -= qe
+            if self._a < qe:
+                self._c += qe
+            else:
+                self._a = qe
+            if _SWITCH[idx]:
+                self._mps[context] ^= 1
+            self._index[context] = _NLPS[idx]
+            self._renorm()
+
+    def flush(self) -> None:
+        """Terminate the segment (T.800 FLUSH: setbits + two byteouts)."""
+        if self._flushed:
+            return
+        # SETBITS: move C to the largest value in [C, C+A) whose low
+        # 15 bits are zero; the decoder's past-end 1-bit feeding then
+        # lands inside the final interval.
+        tempc = self._c + self._a - 1
+        self._c = tempc & ~0x7FFF
+        # Three byteouts drain every significant bit of C (the spec's two
+        # plus one safety byte so the last decision never depends on
+        # synthesized padding; costs at most one byte per segment).
+        for _ in range(3):
+            self._c = (self._c << self._ct) & 0xFFFFFFF
+            self._byteout()
+        if self._buf[-1] == 0xFF:
+            self._buf.pop()
+        self._flushed = True
+
+    def get_bytes(self) -> bytes:
+        """The coded segment (call :meth:`flush` first for a final one).
+
+        The fabricated leading byte is stripped when no carry reached it;
+        a carried-into leading byte stays (the decoder needs the bit).
+        """
+        if self._buf[0] == 0:
+            return bytes(self._buf[1:])
+        return bytes(self._buf)
+
+    def tell_bytes(self) -> int:
+        """Upper bound on the bytes needed to decode everything coded so
+        far, used as the truncation-point rate of the enclosing pass."""
+        # Bytes committed, plus the C register still holding ~3 bytes.
+        return len(self._buf) + 3
+
+    @property
+    def context_states(self) -> List[int]:
+        """Current probability-state index per context (for tests)."""
+        return list(self._index)
+
+
+class MQDecoder:
+    """MQ decoder; exact mirror of :class:`MQEncoder`.
+
+    Feeding it a truncated segment is legal: reads past the end supply
+    ``1`` bits, as the standard prescribes for truncated code-streams.
+    """
+
+    def __init__(self, data: bytes, n_contexts: int, initial_states: Optional[Sequence[int]] = None) -> None:
+        if n_contexts < 1:
+            raise ValueError("need at least one context")
+        self._index = [0] * n_contexts
+        self._mps = [0] * n_contexts
+        if initial_states is not None:
+            if len(initial_states) != n_contexts:
+                raise ValueError("initial_states length mismatch")
+            self._index = list(initial_states)
+        self._data = data
+        self._bp = 0
+        b0 = data[0] if data else 0xFF
+        self._c = b0 << 16
+        self._bytein()
+        self._c = (self._c << 7) & 0xFFFFFFFF
+        self._ct -= 7
+        self._a = 0x8000
+
+    def _cur(self) -> int:
+        return self._data[self._bp] if self._bp < len(self._data) else 0xFF
+
+    def _next(self) -> int:
+        return self._data[self._bp + 1] if self._bp + 1 < len(self._data) else 0xFF
+
+    def _bytein(self) -> None:
+        if self._cur() == 0xFF:
+            if self._next() > 0x8F:
+                self._c += 0xFF00
+                self._ct = 8
+            else:
+                self._bp += 1
+                self._c += self._cur() << 9
+                self._ct = 7
+        else:
+            self._bp += 1
+            self._c += self._cur() << 8
+            self._ct = 8
+
+    def _renorm(self) -> None:
+        while True:
+            if self._ct == 0:
+                self._bytein()
+            self._a = (self._a << 1) & 0xFFFF
+            self._c = (self._c << 1) & 0xFFFFFFFF
+            self._ct -= 1
+            if self._a & 0x8000:
+                break
+
+    def decode(self, context: int) -> int:
+        """Decode one binary decision in ``context``."""
+        idx = self._index[context]
+        qe = _QE[idx]
+        self._a -= qe
+        if ((self._c >> 16) & 0xFFFF) < qe:
+            # LPS path (conditional exchange).
+            if self._a < qe:
+                d = self._mps[context]
+                self._index[context] = _NMPS[idx]
+            else:
+                d = 1 - self._mps[context]
+                if _SWITCH[idx]:
+                    self._mps[context] ^= 1
+                self._index[context] = _NLPS[idx]
+            self._a = qe
+            self._renorm()
+            return d
+        self._c -= qe << 16
+        if self._a & 0x8000:
+            return self._mps[context]
+        if self._a < qe:
+            d = 1 - self._mps[context]
+            if _SWITCH[idx]:
+                self._mps[context] ^= 1
+            self._index[context] = _NLPS[idx]
+        else:
+            d = self._mps[context]
+            self._index[context] = _NMPS[idx]
+        self._renorm()
+        return d
+
+    @property
+    def context_states(self) -> List[int]:
+        """Current probability-state index per context (for tests)."""
+        return list(self._index)

@@ -1,0 +1,498 @@
+"""Tier-1 code-block coder: bit-plane coding with three passes per plane.
+
+Each code-block of quantized coefficients is coded independently --
+JPEG2000's enabler for the paper's parallel encoding stage.  Planes are
+coded most-significant first; the top plane gets a single cleanup pass,
+every further plane a significance-propagation, a magnitude-refinement
+and a cleanup pass.  Pass boundaries are the feasible truncation points
+reported to the PCRD rate allocator, each annotated with its cumulative
+rate (bytes) and its distortion reduction (in squared quantized-
+coefficient units; the allocator applies quantizer step and subband
+synthesis gain).
+
+See :mod:`repro.ebcot` for the documented pass-boundary (Jacobi) context
+freeze that makes the state updates vectorizable; encoder and decoder
+mirror each other exactly and round-trip bit-exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .mq import MQDecoder, MQEncoder
+from .tables import (
+    CTX_RUN,
+    CTX_UNIFORM,
+    N_CONTEXTS,
+    refinement_context,
+    sign_context_and_xor,
+    zero_coding_context,
+)
+
+__all__ = [
+    "CodingPass",
+    "EncodedBlock",
+    "CodeBlockEncoder",
+    "CodeBlockDecoder",
+    "encode_codeblock",
+    "decode_codeblock",
+]
+
+_PASS_TYPES = ("sig", "ref", "clean")
+
+
+@dataclass(frozen=True)
+class CodingPass:
+    """One feasible truncation point of a code-block's embedded stream."""
+
+    plane: int
+    pass_type: str
+    rate_bytes: int
+    dist_reduction: float
+    n_decisions: int
+
+
+@dataclass
+class EncodedBlock:
+    """The embedded bit-stream of one code-block plus its pass table."""
+
+    data: bytes
+    passes: List[CodingPass]
+    n_planes: int
+    shape: Tuple[int, int]
+    orient: str
+
+    @property
+    def n_passes(self) -> int:
+        return len(self.passes)
+
+    def truncation_lengths(self) -> List[int]:
+        """Cumulative byte lengths at each pass boundary."""
+        return [p.rate_bytes for p in self.passes]
+
+    def total_decisions(self) -> int:
+        """Total MQ decisions coded -- the tier-1 work measure used by
+        the performance model."""
+        return sum(p.n_decisions for p in self.passes)
+
+
+@lru_cache(maxsize=64)
+def _scan_order(height: int, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Row/column index arrays in JPEG2000 stripe scan order.
+
+    Stripes of four rows; within a stripe, columns left to right; within
+    a column, rows top to bottom.
+    """
+    rows: List[int] = []
+    cols: List[int] = []
+    for stripe in range(0, height, 4):
+        stop = min(stripe + 4, height)
+        for c in range(width):
+            for r in range(stripe, stop):
+                rows.append(r)
+                cols.append(c)
+    return np.array(rows, dtype=np.intp), np.array(cols, dtype=np.intp)
+
+
+class CodeBlockEncoder:
+    """Encodes one code-block; see :func:`encode_codeblock`."""
+
+    def __init__(self, coeffs: np.ndarray, orient: str) -> None:
+        coeffs = np.asarray(coeffs)
+        if coeffs.ndim != 2:
+            raise ValueError("code-block must be 2-D")
+        if not np.issubdtype(coeffs.dtype, np.integer):
+            raise TypeError("tier-1 codes integer (quantized) coefficients")
+        self.orient = orient
+        self.shape = coeffs.shape
+        self.mag = np.abs(coeffs.astype(np.int64))
+        self.neg = coeffs < 0
+        maxmag = int(self.mag.max()) if self.mag.size else 0
+        self.n_planes = maxmag.bit_length()
+        self._rs, self._cs = _scan_order(*self.shape)
+
+    def encode(self) -> EncodedBlock:
+        """Run all passes over all planes; returns the embedded stream."""
+        if self.n_planes == 0:
+            return EncodedBlock(b"", [], 0, self.shape, self.orient)
+        enc = MQEncoder(N_CONTEXTS)
+        sig = np.zeros(self.shape, dtype=bool)
+        refined = np.zeros(self.shape, dtype=bool)
+        signs = np.where(self.neg, -1, 1).astype(np.int64)
+        passes: List[CodingPass] = []
+
+        for plane in range(self.n_planes - 1, -1, -1):
+            bits = ((self.mag >> plane) & 1).astype(np.int64)
+            sig_at_plane_start = sig.copy()
+            coded = np.zeros(self.shape, dtype=bool)
+
+            if plane != self.n_planes - 1:
+                sig, n_dec = self._sig_pass(enc, sig, signs, bits, coded)
+                passes.append(self._mk_pass(enc, plane, "sig", sig_at_plane_start, sig, n_dec, plane))
+                prev_sig = sig.copy()
+                n_dec = self._ref_pass(enc, sig_at_plane_start, sig, refined, coded, bits)
+                passes.append(
+                    CodingPass(
+                        plane,
+                        "ref",
+                        enc.tell_bytes(),
+                        self._ref_distortion(sig_at_plane_start, coded, plane),
+                        n_dec,
+                    )
+                )
+                sig_before_clean = prev_sig
+            else:
+                sig_before_clean = sig
+
+            sig, n_dec = self._cleanup_pass(enc, sig, signs, bits, coded)
+            passes.append(
+                self._mk_pass(enc, plane, "clean", sig_before_clean, sig, n_dec, plane)
+            )
+        enc.flush()
+        data = enc.get_bytes()
+        # Clamp pass rates to the final segment length.
+        passes = [
+            CodingPass(p.plane, p.pass_type, min(p.rate_bytes, len(data)), p.dist_reduction, p.n_decisions)
+            for p in passes
+        ]
+        return EncodedBlock(data, passes, self.n_planes, self.shape, self.orient)
+
+    # -- pass implementations ------------------------------------------------
+
+    def _mk_pass(
+        self,
+        enc: MQEncoder,
+        plane: int,
+        pass_type: str,
+        sig_before: np.ndarray,
+        sig_after: np.ndarray,
+        n_dec: int,
+        p: int,
+    ) -> CodingPass:
+        new = sig_after & ~sig_before
+        dist = self._newly_sig_distortion(new, p)
+        return CodingPass(plane, pass_type, enc.tell_bytes(), dist, n_dec)
+
+    def _newly_sig_distortion(self, new: np.ndarray, plane: int) -> float:
+        """Squared-error reduction from samples becoming significant."""
+        if not new.any():
+            return 0.0
+        m = self.mag[new].astype(np.float64)
+        base = np.floor(m / (1 << plane)) * (1 << plane)
+        rec = base + 0.5 * (1 << plane)
+        return float(np.sum(m * m - (m - rec) ** 2))
+
+    def _ref_distortion(self, sig_start: np.ndarray, coded: np.ndarray, plane: int) -> float:
+        """Squared-error reduction from refining known-significant samples."""
+        refined_now = sig_start & coded
+        if not refined_now.any():
+            return 0.0
+        m = self.mag[refined_now].astype(np.float64)
+        step_hi = 1 << (plane + 1)
+        step_lo = 1 << plane
+        rec_before = np.floor(m / step_hi) * step_hi + 0.5 * step_hi
+        rec_after = np.floor(m / step_lo) * step_lo + 0.5 * step_lo
+        return float(np.sum((m - rec_before) ** 2 - (m - rec_after) ** 2))
+
+    def _sig_pass(
+        self,
+        enc: MQEncoder,
+        sig: np.ndarray,
+        signs: np.ndarray,
+        bits: np.ndarray,
+        coded: np.ndarray,
+    ) -> Tuple[np.ndarray, int]:
+        """Significance propagation: insignificant samples with a
+        significant neighborhood."""
+        ctx_zc = zero_coding_context(sig, self.orient)
+        h, v, d = _neighbor_any(sig)
+        elig = ~sig & ((h | v | d) > 0)
+        sc_ctx, sc_xor = sign_context_and_xor(sig, signs)
+        new_sig = self._code_samples(enc, elig, ctx_zc, sc_ctx, sc_xor, bits)
+        coded |= elig
+        n_dec = int(elig.sum() + (elig & (bits > 0)).sum())
+        return sig | new_sig, n_dec
+
+    def _ref_pass(
+        self,
+        enc: MQEncoder,
+        sig_start: np.ndarray,
+        sig: np.ndarray,
+        refined: np.ndarray,
+        coded: np.ndarray,
+        bits: np.ndarray,
+    ) -> int:
+        """Magnitude refinement of samples significant before this plane."""
+        elig = sig_start & ~coded
+        if not elig.any():
+            return 0
+        ctx_mr = refinement_context(sig, refined)
+        rs, cs = self._rs, self._cs
+        flat = elig[rs, cs]
+        sel = np.nonzero(flat)[0]
+        ctxs = ctx_mr[rs[sel], cs[sel]].tolist()
+        ds = bits[rs[sel], cs[sel]].tolist()
+        encode = enc.encode
+        for dval, cval in zip(ds, ctxs):
+            encode(dval, cval)
+        refined |= elig
+        coded |= elig
+        return len(sel)
+
+    def _cleanup_pass(
+        self,
+        enc: MQEncoder,
+        sig: np.ndarray,
+        signs: np.ndarray,
+        bits: np.ndarray,
+        coded: np.ndarray,
+    ) -> Tuple[np.ndarray, int]:
+        """Cleanup: everything not yet coded this plane, with run-length
+        shortcuts on all-quiet stripe columns."""
+        height, width = self.shape
+        ctx_zc = zero_coding_context(sig, self.orient)
+        sc_ctx, sc_xor = sign_context_and_xor(sig, signs)
+        elig = ~sig & ~coded
+        quiet = elig & (ctx_zc == 0)
+        neg = self.neg
+        new_sig = np.zeros(self.shape, dtype=bool)
+        n_dec = 0
+        encode = enc.encode
+        for stripe in range(0, height, 4):
+            stop = min(stripe + 4, height)
+            full = stop - stripe == 4
+            for c in range(width):
+                col_quiet = full and bool(quiet[stripe:stop, c].all())
+                if col_quiet:
+                    col_bits = bits[stripe:stop, c]
+                    if not col_bits.any():
+                        encode(0, CTX_RUN)
+                        n_dec += 1
+                        continue
+                    encode(1, CTX_RUN)
+                    k = int(np.argmax(col_bits))
+                    encode((k >> 1) & 1, CTX_UNIFORM)
+                    encode(k & 1, CTX_UNIFORM)
+                    n_dec += 3
+                    r = stripe + k
+                    xbit = int(neg[r, c]) ^ int(sc_xor[r, c])
+                    encode(xbit, int(sc_ctx[r, c]))
+                    n_dec += 1
+                    new_sig[r, c] = True
+                    start = k + 1
+                else:
+                    start = 0
+                for rr in range(stripe + start, stop):
+                    if not elig[rr, c] or new_sig[rr, c]:
+                        continue
+                    d = int(bits[rr, c])
+                    encode(d, int(ctx_zc[rr, c]))
+                    n_dec += 1
+                    if d:
+                        xbit = int(neg[rr, c]) ^ int(sc_xor[rr, c])
+                        encode(xbit, int(sc_ctx[rr, c]))
+                        n_dec += 1
+                        new_sig[rr, c] = True
+        return sig | new_sig, n_dec
+
+    def _code_samples(
+        self,
+        enc: MQEncoder,
+        elig: np.ndarray,
+        ctx_zc: np.ndarray,
+        sc_ctx: np.ndarray,
+        sc_xor: np.ndarray,
+        bits: np.ndarray,
+    ) -> np.ndarray:
+        """Zero-code + sign-code eligible samples in scan order."""
+        new_sig = np.zeros(self.shape, dtype=bool)
+        if not elig.any():
+            return new_sig
+        rs, cs = self._rs, self._cs
+        flat = elig[rs, cs]
+        sel = np.nonzero(flat)[0]
+        rr = rs[sel]
+        cc = cs[sel]
+        ds = bits[rr, cc].tolist()
+        zctx = ctx_zc[rr, cc].tolist()
+        sctx = sc_ctx[rr, cc].tolist()
+        sxor = sc_xor[rr, cc].tolist()
+        nbits = (self.neg[rr, cc].astype(np.int64)).tolist()
+        encode = enc.encode
+        rlist = rr.tolist()
+        clist = cc.tolist()
+        for i in range(len(sel)):
+            d = ds[i]
+            encode(d, zctx[i])
+            if d:
+                encode(nbits[i] ^ sxor[i], sctx[i])
+                new_sig[rlist[i], clist[i]] = True
+        return new_sig
+
+
+def _neighbor_any(sig: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """H/V/D neighbor counts (thin wrapper to keep t1 self-contained)."""
+    from .tables import neighbor_counts
+
+    return neighbor_counts(sig)
+
+
+class CodeBlockDecoder:
+    """Decodes (possibly truncated) embedded streams; mirror of the encoder."""
+
+    def __init__(
+        self,
+        data: bytes,
+        shape: Tuple[int, int],
+        orient: str,
+        n_planes: int,
+        n_passes: Optional[int] = None,
+    ) -> None:
+        self.data = data
+        self.shape = tuple(shape)
+        self.orient = orient
+        self.n_planes = n_planes
+        self.n_passes = n_passes
+        self._rs, self._cs = _scan_order(*self.shape)
+
+    def decode(self) -> Tuple[np.ndarray, int]:
+        """Returns ``(values, last_plane)``.
+
+        ``values`` are signed integer coefficients containing the decoded
+        magnitude bits; ``last_plane`` is the lowest fully decoded plane
+        (0 when every pass was decoded), which the dequantizer uses for
+        midpoint reconstruction.
+        """
+        height, width = self.shape
+        mag = np.zeros(self.shape, dtype=np.int64)
+        neg = np.zeros(self.shape, dtype=bool)
+        if self.n_planes == 0:
+            return mag, 0
+        dec = MQDecoder(self.data, N_CONTEXTS)
+        sig = np.zeros(self.shape, dtype=bool)
+        refined = np.zeros(self.shape, dtype=bool)
+        budget = self.n_passes if self.n_passes is not None else 3 * self.n_planes
+        done = 0
+        last_plane = self.n_planes - 1
+        for plane in range(self.n_planes - 1, -1, -1):
+            if done >= budget:
+                break
+            sig_at_plane_start = sig.copy()
+            coded = np.zeros(self.shape, dtype=bool)
+            if plane != self.n_planes - 1:
+                sig = self._sig_pass(dec, sig, mag, neg, coded, plane)
+                done += 1
+                last_plane = plane
+                if done >= budget:
+                    break
+                self._ref_pass(dec, sig_at_plane_start, sig, refined, coded, mag, plane)
+                done += 1
+                if done >= budget:
+                    break
+            sig = self._cleanup_pass(dec, sig, mag, neg, coded, plane)
+            done += 1
+            last_plane = plane
+        values = np.where(neg, -mag, mag)
+        return values, last_plane
+
+    def _signs_array(self, neg: np.ndarray) -> np.ndarray:
+        return np.where(neg, -1, 1).astype(np.int64)
+
+    def _sig_pass(self, dec, sig, mag, neg, coded, plane):
+        ctx_zc = zero_coding_context(sig, self.orient)
+        h, v, d = _neighbor_any(sig)
+        elig = ~sig & ((h | v | d) > 0)
+        sc_ctx, sc_xor = sign_context_and_xor(sig, self._signs_array(neg))
+        new_sig = np.zeros(self.shape, dtype=bool)
+        if elig.any():
+            rs, cs = self._rs, self._cs
+            flat = elig[rs, cs]
+            sel = np.nonzero(flat)[0]
+            rr = rs[sel].tolist()
+            cc = cs[sel].tolist()
+            decode = dec.decode
+            for i in range(len(rr)):
+                r, c = rr[i], cc[i]
+                if decode(int(ctx_zc[r, c])):
+                    s = decode(int(sc_ctx[r, c])) ^ int(sc_xor[r, c])
+                    neg[r, c] = bool(s)
+                    mag[r, c] |= 1 << plane
+                    new_sig[r, c] = True
+        coded |= elig
+        return sig | new_sig
+
+    def _ref_pass(self, dec, sig_start, sig, refined, coded, mag, plane):
+        elig = sig_start & ~coded
+        if elig.any():
+            ctx_mr = refinement_context(sig, refined)
+            rs, cs = self._rs, self._cs
+            flat = elig[rs, cs]
+            sel = np.nonzero(flat)[0]
+            rr = rs[sel].tolist()
+            cc = cs[sel].tolist()
+            decode = dec.decode
+            for i in range(len(rr)):
+                r, c = rr[i], cc[i]
+                if decode(int(ctx_mr[r, c])):
+                    mag[r, c] |= 1 << plane
+        refined |= elig
+        coded |= elig
+
+    def _cleanup_pass(self, dec, sig, mag, neg, coded, plane):
+        height, width = self.shape
+        ctx_zc = zero_coding_context(sig, self.orient)
+        sc_ctx, sc_xor = sign_context_and_xor(sig, self._signs_array(neg))
+        elig = ~sig & ~coded
+        quiet = elig & (ctx_zc == 0)
+        new_sig = np.zeros(self.shape, dtype=bool)
+        decode = dec.decode
+        for stripe in range(0, height, 4):
+            stop = min(stripe + 4, height)
+            full = stop - stripe == 4
+            for c in range(width):
+                col_quiet = full and bool(quiet[stripe:stop, c].all())
+                if col_quiet:
+                    if not decode(CTX_RUN):
+                        continue
+                    k = (decode(CTX_UNIFORM) << 1) | decode(CTX_UNIFORM)
+                    r = stripe + k
+                    s = decode(int(sc_ctx[r, c])) ^ int(sc_xor[r, c])
+                    neg[r, c] = bool(s)
+                    mag[r, c] |= 1 << plane
+                    new_sig[r, c] = True
+                    start = k + 1
+                else:
+                    start = 0
+                for rr in range(stripe + start, stop):
+                    if not elig[rr, c] or new_sig[rr, c]:
+                        continue
+                    if decode(int(ctx_zc[rr, c])):
+                        s = decode(int(sc_ctx[rr, c])) ^ int(sc_xor[rr, c])
+                        neg[rr, c] = bool(s)
+                        mag[rr, c] |= 1 << plane
+                        new_sig[rr, c] = True
+        return sig | new_sig
+
+
+def encode_codeblock(coeffs: np.ndarray, orient: str = "LL") -> EncodedBlock:
+    """Encode one code-block of signed integer coefficients."""
+    return CodeBlockEncoder(coeffs, orient).encode()
+
+
+def decode_codeblock(
+    data: bytes,
+    shape: Tuple[int, int],
+    orient: str,
+    n_planes: int,
+    n_passes: Optional[int] = None,
+) -> Tuple[np.ndarray, int]:
+    """Decode a (possibly truncated) code-block stream.
+
+    Returns ``(values, last_plane)``; pass ``n_passes`` to stop at a
+    truncation point chosen by the rate allocator.
+    """
+    return CodeBlockDecoder(data, shape, orient, n_planes, n_passes).decode()

@@ -1,0 +1,124 @@
+"""Shared infrastructure for the figure experiments.
+
+``standard_stats`` runs ONE real encode of the standard synthetic image
+family (cached per session) and every scaled experiment derives its
+workload from it, so all simulated figures trace back to measured codec
+behaviour rather than invented constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codec import CodecParams, encode_image
+from ..image import SyntheticSpec, synthetic_image
+from ..perf.calibrate import PixelStats, measure_pixel_stats, scaled_workload
+from ..perf.workmodel import DEFAULT_WORK_PARAMS, WorkParams, Workload
+
+__all__ = [
+    "PAPER_SIZES",
+    "ExperimentResult",
+    "standard_stats",
+    "standard_workload",
+    "jasper_params",
+    "jj2000_params",
+    "side_for_kpixels",
+]
+
+#: Image sizes (Kpixel) on the paper's figure axes.
+PAPER_SIZES: Tuple[int, ...] = (256, 1024, 4096, 16384)
+
+#: The paper: "the Jasper C code saves about 20 percent of the JJ2000
+#: computation time."
+_JASPER_FACTOR = 0.8
+
+
+def jj2000_params() -> WorkParams:
+    """Work parameters modelling the JJ2000 (Java) codec."""
+    return DEFAULT_WORK_PARAMS
+
+
+def jasper_params() -> WorkParams:
+    """Work parameters modelling the Jasper (C) codec (~20% faster)."""
+    return DEFAULT_WORK_PARAMS.scaled(_JASPER_FACTOR)
+
+
+def side_for_kpixels(kpixels: int) -> int:
+    """Square image side for a Kpixel axis value (power-of-two widths)."""
+    side = 1
+    while side * side < kpixels * 1024:
+        side *= 2
+    return side
+
+
+@lru_cache(maxsize=4)
+def standard_stats(side: int = 128) -> PixelStats:
+    """Per-pixel codec statistics from one real encode (cached)."""
+    img = synthetic_image(SyntheticSpec(side, side, "mix", seed=0))
+    result = encode_image(img, CodecParams(levels=4, base_step=1 / 64, cb_size=32))
+    return measure_pixel_stats(result)
+
+
+def standard_workload(kpixels: int, quick: bool = False) -> Workload:
+    """Paper-scale workload for one figure-axis size."""
+    side = side_for_kpixels(kpixels)
+    stats = standard_stats(64 if quick else 128)
+    return scaled_workload(side, side, stats, levels=5, cb_size=64, seed=kpixels)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one figure reproduction.
+
+    ``rows`` hold the regenerated series (one dict per table row);
+    ``checks`` are the paper's qualitative claims evaluated as booleans;
+    ``paper`` records what the paper reports for EXPERIMENTS.md.
+    """
+
+    name: str
+    description: str
+    rows: List[Dict] = field(default_factory=list)
+    checks: List[Tuple[str, bool]] = field(default_factory=list)
+    paper: str = ""
+    notes: str = ""
+
+    def check(self, label: str, passed: bool) -> None:
+        self.checks.append((label, bool(passed)))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(ok for _, ok in self.checks)
+
+    def failed_checks(self) -> List[str]:
+        return [label for label, ok in self.checks if not ok]
+
+    def table(self) -> str:
+        """Render rows as an aligned text table."""
+        if not self.rows:
+            return "(no rows)"
+        cols = list(self.rows[0].keys())
+        widths = {
+            c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in self.rows)) for c in cols
+        }
+        lines = ["  ".join(str(c).ljust(widths[c]) for c in cols)]
+        lines.append("  ".join("-" * widths[c] for c in cols))
+        for r in self.rows:
+            lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in cols))
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        status = "PASS" if self.all_passed else "FAIL"
+        checks = "\n".join(
+            f"  [{'x' if ok else ' '}] {label}" for label, ok in self.checks
+        )
+        return f"{self.name}: {status}\n{self.description}\n{checks}\n{self.table()}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,88 @@
+"""Extension -- parallel *decoding* on the paper's machines.
+
+The paper parallelizes encoding only; this extension applies the same
+techniques to the decoder, where they transfer directly: tier-1
+*decoding* of independent code-blocks runs on the worker pool, and the
+inverse DWT has the same per-level sweeps -- including the identical
+power-of-two vertical-filtering pathology, which the aggregated-columns
+fix repairs on the synthesis side too.  Decoding parallelizes *better*
+than encoding because the PCRD rate-allocation stage (sequential) has no
+decoder counterpart.
+"""
+
+from __future__ import annotations
+
+from ..perf.costmodel import simulate_decode, simulate_encode
+from ..smp.machine import INTEL_SMP
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jj2000_params, standard_workload
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="ext_decoder",
+        description="Extension: the paper's techniques applied to decoding",
+        paper=(
+            "Not in the paper (encoding only); prediction from its analysis: "
+            "same DWT pathology on synthesis, better overall scaling because "
+            "rate allocation has no decoder counterpart"
+        ),
+    )
+    kpix = 1024 if quick else 16384
+    wl = standard_workload(kpix, quick)
+    params = jj2000_params()
+
+    d1n = simulate_decode(wl, INTEL_SMP, 1, VerticalStrategy.NAIVE, params=params)
+    d4n = simulate_decode(wl, INTEL_SMP, 4, VerticalStrategy.NAIVE, params=params)
+    d1a = simulate_decode(wl, INTEL_SMP, 1, VerticalStrategy.AGGREGATED, params=params)
+    d4a = simulate_decode(wl, INTEL_SMP, 4, VerticalStrategy.AGGREGATED, params=params)
+    e1n = simulate_encode(wl, INTEL_SMP, 1, VerticalStrategy.NAIVE, params=params)
+    e4a = simulate_encode(wl, INTEL_SMP, 4, VerticalStrategy.AGGREGATED, params=params)
+
+    result.rows.append(
+        {
+            "metric": "decode serial naive (ms)",
+            "value": d1n.total_ms,
+        }
+    )
+    result.rows.append(
+        {"metric": "decode 4-CPU improved (ms)", "value": d4a.total_ms}
+    )
+    result.rows.append(
+        {"metric": "decode speedup (improved@4 vs naive serial)", "value": d1n.total_ms / d4a.total_ms}
+    )
+    result.rows.append(
+        {"metric": "encode speedup (improved@4 vs naive serial)", "value": e1n.total_ms / e4a.total_ms}
+    )
+    result.rows.append(
+        {
+            "metric": "decode IDWT vertical/horizontal serial ratio",
+            "value": d1n.vertical_ms() / d1n.horizontal_ms(),
+        }
+    )
+
+    # Same pathology on the synthesis filter bank.
+    result.check(
+        "IDWT shows the vertical pathology too (v/h > 3)",
+        d1n.vertical_ms() > 3.0 * d1n.horizontal_ms(),
+    )
+    result.check(
+        "aggregated filtering fixes decode filtering as well",
+        d1a.vertical_ms() < d1n.vertical_ms() / 3.0,
+    )
+    # Decoder scales at least as well as the encoder.
+    dec_speedup = d1n.total_ms / d4a.total_ms
+    enc_speedup = e1n.total_ms / e4a.total_ms
+    result.check(
+        "decode speedup >= encode speedup (no R/D allocation stage)",
+        dec_speedup >= enc_speedup - 0.15,
+    )
+    result.check("decode 4-CPU improved speedup in 2.5..4.5", 2.5 <= dec_speedup <= 4.5)
+    # Naive decode parallelization is also bus-limited.
+    result.check(
+        "naive decode parallelization stays below 2.6x",
+        d1n.total_ms / d4n.total_ms < 2.6,
+    )
+    return result

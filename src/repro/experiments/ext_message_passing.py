@@ -1,0 +1,92 @@
+"""Extension -- SMP versus multicomputer, quantified.
+
+Section 3 of the paper motivates the shared-memory architecture over
+multicomputers "due to the high memory requirements of these
+applications" and the comfortable programming environments.  This
+extension costs the same parallel decomposition on message-passing
+clusters (Fast Ethernet and Myrinet interconnects, 2002-era numbers) and
+compares against the simulated Intel SMP: the explicit scatter / halo
+exchange / repartition / gather traffic that shared memory makes
+implicit is what separates the two.
+"""
+
+from __future__ import annotations
+
+from ..perf.costmodel import simulate_encode
+from ..smp.distributed import FAST_ETHERNET, MYRINET_2000, simulate_cluster_encode
+from ..smp.machine import INTEL_SMP
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jj2000_params, standard_workload
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="ext_message_passing",
+        description="Extension: the same parallelization on message-passing clusters",
+        paper=(
+            "Not measured in the paper; its Sec. 3 claim: SMPs are the "
+            "interesting alternative to multicomputers for image coding"
+        ),
+    )
+    kpix = 1024 if quick else 16384
+    wl = standard_workload(kpix, quick)
+    params = jj2000_params()
+
+    smp4 = simulate_encode(
+        wl, INTEL_SMP, 4, VerticalStrategy.AGGREGATED, params=params, parallel_quant=True
+    )
+    serial = simulate_encode(
+        wl, INTEL_SMP, 1, VerticalStrategy.AGGREGATED, params=params, parallel_quant=True
+    )
+
+    rows = {}
+    for net in (FAST_ETHERNET, MYRINET_2000):
+        for nodes in (4, 16):
+            cb = simulate_cluster_encode(wl, INTEL_SMP, net, nodes, params)
+            rows[(net.name, nodes)] = cb
+            result.rows.append(
+                {
+                    "config": f"{net.name} x{nodes}",
+                    "total_ms": cb.total_ms,
+                    "compute_ms": cb.compute_ms,
+                    "comm_ms": cb.comm_ms,
+                    "comm_share": cb.comm_ms / cb.total_ms,
+                }
+            )
+    result.rows.append(
+        {"config": "SMP x4 (shared memory)", "total_ms": smp4.total_ms,
+         "compute_ms": smp4.total_ms - smp4.sequential_ms(),
+         "comm_ms": 0.0, "comm_share": 0.0}
+    )
+
+    eth4 = rows[("fast_ethernet", 4)]
+    myr4 = rows[("myrinet_2000", 4)]
+    if not quick:
+        # The margin is scale-dependent: at the paper's 16-Mpixel size
+        # the Ethernet cluster's explicit traffic costs it the lead; at
+        # small sizes the SMP's thread/pool overheads dominate instead,
+        # so this ordering claim is asserted at full scale only.
+        result.check(
+            "4-node Fast-Ethernet cluster not faster than the 4-CPU SMP (full scale)",
+            eth4.total_ms > smp4.total_ms * 0.98,
+        )
+    result.check(
+        "a fast interconnect closes most of the gap",
+        myr4.total_ms < eth4.total_ms,
+    )
+    result.check(
+        "cluster communication is a real share on Ethernet (> 5%)",
+        eth4.comm_ms / eth4.total_ms > 0.05,
+    )
+    result.check(
+        "both clusters still beat one CPU at this image size",
+        max(eth4.total_ms, myr4.total_ms) < serial.total_ms,
+    )
+    eth16 = rows[("fast_ethernet", 16)]
+    result.check(
+        "Ethernet scaling saturates: 16 nodes < 2.5x faster than 4",
+        eth4.total_ms / eth16.total_ms < 2.5,
+    )
+    return result

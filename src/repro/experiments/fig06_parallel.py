@@ -1,0 +1,48 @@
+"""Fig. 6 -- Parallel runtime analysis of JJ2000 on the 4-CPU Intel SMP.
+
+The paper (naive filtering, 4 CPUs): "An overall speedup of ~1.75 is
+achieved only ... the speedup corresponding to the encoding stage is
+about 3.1 whereas the wavelet transform speedup is ~1.8 at most."
+"""
+
+from __future__ import annotations
+
+from ..perf.costmodel import simulate_encode
+from ..smp.machine import INTEL_SMP
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jj2000_params, standard_workload
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig06_parallel",
+        description="4-CPU JJ2000, naive filtering: overall ~1.75x, tier-1 ~3.1x, DWT <= ~1.8x",
+        paper="Overall 1.75x; encoding-stage ~3.1x; DWT ~1.8x at most (4 CPUs)",
+    )
+    sizes = (256, 1024) if quick else (256, 1024, 4096, 16384)
+    params = jj2000_params()
+    for kpix in sizes:
+        wl = standard_workload(kpix, quick)
+        s1 = simulate_encode(wl, INTEL_SMP, 1, VerticalStrategy.NAIVE, params=params)
+        s4 = simulate_encode(wl, INTEL_SMP, 4, VerticalStrategy.NAIVE, params=params)
+        overall = s1.total_ms / s4.total_ms
+        t1_speedup = s1.stage_ms["tier-1 coding"] / s4.stage_ms["tier-1 coding"]
+        dwt_speedup = s1.dwt_ms() / s4.dwt_ms()
+        result.rows.append(
+            {
+                "size": f"{kpix}K",
+                "serial_ms": s1.total_ms,
+                "cpu4_ms": s4.total_ms,
+                "overall_x": overall,
+                "tier1_x": t1_speedup,
+                "dwt_x": dwt_speedup,
+            }
+        )
+        lo = 1.1 if kpix < 1024 else 1.4  # tiny images: overheads eat the gain
+        result.check(f"{kpix}K: overall speedup in {lo}..2.4", lo <= overall <= 2.4)
+        result.check(f"{kpix}K: tier-1 speedup in 2.6..4.0", 2.6 <= t1_speedup <= 4.0)
+        result.check(f"{kpix}K: DWT speedup <= 2.3 (cache/bus-limited)", dwt_speedup <= 2.3)
+        result.check(f"{kpix}K: tier-1 parallelizes better than DWT", t1_speedup > dwt_speedup)
+    return result

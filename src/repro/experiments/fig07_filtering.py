@@ -1,0 +1,66 @@
+"""Fig. 7 -- Original vs improved filtering times (Intel, 16384 Kpixel).
+
+The paper's bars (1..4 CPUs): naive vertical filtering takes >6x the
+horizontal time (32158 ms vs 4770 ms at one CPU) and barely improves
+with CPUs (17209 ms at four); the improved (aggregated-columns) vertical
+filter drops to roughly the horizontal time -- "almost factor 10 is
+gained by our technique, horizontal and vertical filtering are now
+almost identical with respect to runtime."
+"""
+
+from __future__ import annotations
+
+from ..core.study import filtering_profile
+from ..smp.machine import INTEL_SMP
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jj2000_params, standard_workload
+
+__all__ = ["run", "PAPER_VERTICAL_MS", "PAPER_HORIZONTAL_MS"]
+
+#: Fig. 7 bar readings (ms) at 1..4 CPUs.
+PAPER_VERTICAL_MS = (32158.0, 23650.0, 17145.0, 17209.0)
+PAPER_HORIZONTAL_MS = (4770.0, 2485.0, 1670.0, 1295.0)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig07_filtering",
+        description="Vertical >> horizontal with naive filtering; improved vertical ~= horizontal",
+        paper=(
+            "1 CPU: vertical 32158 ms vs horizontal 4770 ms (6.7x); improved "
+            "vertical ~= horizontal; ~10x gained at 4 CPUs"
+        ),
+    )
+    kpix = 4096 if quick else 16384
+    cpus = (1, 4) if quick else (1, 2, 3, 4)
+    wl = standard_workload(kpix, quick)
+    prof = filtering_profile(
+        wl,
+        INTEL_SMP,
+        cpus,
+        strategies=(VerticalStrategy.NAIVE, VerticalStrategy.AGGREGATED),
+        params=jj2000_params(),
+    )
+    for n in cpus:
+        result.rows.append(
+            {
+                "cpus": n,
+                "vertical_ms": prof.vertical(VerticalStrategy.NAIVE, n),
+                "vert_improved_ms": prof.vertical(VerticalStrategy.AGGREGATED, n),
+                "horizontal_ms": prof.horizontal(VerticalStrategy.NAIVE, n),
+            }
+        )
+
+    v1 = prof.vertical(VerticalStrategy.NAIVE, 1)
+    h1 = prof.horizontal(VerticalStrategy.NAIVE, 1)
+    vi1 = prof.vertical(VerticalStrategy.AGGREGATED, 1)
+    result.check("serial vertical/horizontal ratio in 4..14 (paper 6.7)", 4.0 <= v1 / h1 <= 14.0)
+    result.check("improved vertical within 40% of horizontal", abs(vi1 - h1) <= 0.4 * h1)
+    result.check("improvement factor >= 4x serially (paper ~6.5x)", v1 / vi1 >= 4.0)
+    last = cpus[-1]
+    v_last = prof.vertical(VerticalStrategy.NAIVE, last)
+    vi_last = prof.vertical(VerticalStrategy.AGGREGATED, last)
+    result.check(
+        f"improvement factor at {last} CPUs >= 5x (paper ~10x)", v_last / vi_last >= 5.0
+    )
+    return result

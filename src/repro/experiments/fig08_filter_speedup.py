@@ -1,0 +1,89 @@
+"""Fig. 8 -- Speedup of the filtering routines, 1..4 CPUs (Intel).
+
+The paper: horizontal filtering scales near-linearly (~3.7 at 4 CPUs);
+naive vertical filtering saturates below 2 -- "the constrained speedup of
+the original filtering routine is due to the congestion of the bus caused
+by the high number of cache misses"; improved vertical filtering scales
+like horizontal again.
+"""
+
+from __future__ import annotations
+
+from ..core.speedup import SpeedupSeries
+from ..core.study import filtering_profile
+from ..smp.machine import INTEL_SMP
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jj2000_params, standard_workload
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig08_filter_speedup",
+        description="Horizontal ~linear; naive vertical saturates (bus-bound); improved vertical ~linear",
+        paper="At 4 CPUs: horizontal ~3.7x, naive vertical ~1.9x (flattening), improved vertical ~3.7x",
+    )
+    kpix = 4096 if quick else 16384
+    cpus = (1, 2, 4) if quick else (1, 2, 3, 4)
+    wl = standard_workload(kpix, quick)
+    prof = filtering_profile(
+        wl,
+        INTEL_SMP,
+        cpus,
+        strategies=(VerticalStrategy.NAIVE, VerticalStrategy.AGGREGATED),
+        params=jj2000_params(),
+    )
+    series = {
+        "vertical": SpeedupSeries(
+            "vertical",
+            "naive vertical @1",
+            prof.vertical(VerticalStrategy.NAIVE, 1),
+            tuple(cpus),
+            tuple(prof.vertical(VerticalStrategy.NAIVE, c) for c in cpus),
+        ),
+        "vert_improved": SpeedupSeries(
+            "vert. improved",
+            "improved vertical @1",
+            prof.vertical(VerticalStrategy.AGGREGATED, 1),
+            tuple(cpus),
+            tuple(prof.vertical(VerticalStrategy.AGGREGATED, c) for c in cpus),
+        ),
+        "horizontal": SpeedupSeries(
+            "horizontal",
+            "horizontal @1",
+            prof.horizontal(VerticalStrategy.NAIVE, 1),
+            tuple(cpus),
+            tuple(prof.horizontal(VerticalStrategy.NAIVE, c) for c in cpus),
+        ),
+    }
+    for i, n in enumerate(cpus):
+        result.rows.append(
+            {
+                "cpus": n,
+                "vertical_x": series["vertical"].speedups[i],
+                "vert_improved_x": series["vert_improved"].speedups[i],
+                "horizontal_x": series["horizontal"].speedups[i],
+            }
+        )
+    last = cpus[-1]
+    result.check(
+        f"naive vertical saturates below 2.2x at {last} CPUs",
+        series["vertical"].at(last) < 2.2,
+    )
+    h_floor = 0.6 if quick else 0.75  # fork/join floors bite at quick scale
+    result.check(
+        f"horizontal >= {h_floor}x linear at {last} CPUs",
+        series["horizontal"].at(last) >= h_floor * last,
+    )
+    result.check(
+        "improved vertical scales like horizontal (within 25%)",
+        abs(series["vert_improved"].at(last) - series["horizontal"].at(last))
+        <= 0.25 * series["horizontal"].at(last),
+    )
+    if len(cpus) >= 3:
+        result.check(
+            "naive vertical speedup flattens (saturation)",
+            series["vertical"].saturates(tolerance=0.25),
+        )
+    return result

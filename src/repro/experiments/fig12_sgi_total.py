@@ -1,0 +1,65 @@
+"""Fig. 12 -- Whole-coder speedup vs original Jasper (SGI).
+
+Two curves: OpenMP parallelization alone, and OpenMP plus the modified
+vertical filtering.  The paper: "we reduce the processing time by a
+factor of about 5 ... This gain is reached with the aid of 10 processors
+and minimal implementation effort"; the superlinearity comes from
+comparing against the *original* serial code.
+"""
+
+from __future__ import annotations
+
+from ..core.speedup import SpeedupSeries
+from ..perf.costmodel import simulate_encode
+from ..smp.machine import SGI_POWER_CHALLENGE
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jasper_params, standard_workload
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig12_sgi_total",
+        description="Entire-coder speedup vs original Jasper: ~5x at 10+ CPUs with modified filtering",
+        paper="OpenMP alone saturates lower; OpenMP + modified filtering reaches ~5x around 10 CPUs",
+    )
+    kpix = 1024 if quick else 16384
+    cpus = (1, 4) if quick else (1, 2, 4, 6, 8, 10, 12, 16)
+    wl = standard_workload(kpix, quick)
+    params = jasper_params()
+    ref = simulate_encode(
+        wl, SGI_POWER_CHALLENGE, 1, VerticalStrategy.NAIVE, params=params,
+        parallel_quant=True,
+    ).total_ms
+
+    def total(strategy):
+        def fn(n):
+            return simulate_encode(
+                wl, SGI_POWER_CHALLENGE, n, strategy, params=params,
+                parallel_quant=True,
+            ).total_ms
+        return fn
+
+    openmp_only = SpeedupSeries(
+        "OpenMP", "original serial Jasper", ref, tuple(cpus),
+        tuple(total(VerticalStrategy.NAIVE)(c) for c in cpus),
+    )
+    openmp_mod = SpeedupSeries(
+        "OpenMP + modified filtering", "original serial Jasper", ref, tuple(cpus),
+        tuple(total(VerticalStrategy.AGGREGATED)(c) for c in cpus),
+    )
+    for i, n in enumerate(cpus):
+        result.rows.append(
+            {"cpus": n, "openmp_x": openmp_only.speedups[i],
+             "openmp_modified_x": openmp_mod.speedups[i]}
+        )
+    result.check(
+        "modified filtering curve above OpenMP-only everywhere",
+        all(m >= o for m, o in zip(openmp_mod.speedups, openmp_only.speedups)),
+    )
+    if not quick:
+        result.check("~5x at 10 CPUs (3.5..8 accepted)", 3.5 <= openmp_mod.at(10) <= 8.0)
+        result.check("curve saturates toward 16 CPUs", openmp_mod.saturates(tolerance=0.25))
+        result.check("superlinear vs original serial at >= 8 CPUs", openmp_mod.at(8) > 3.0)
+    return result

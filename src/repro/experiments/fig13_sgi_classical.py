@@ -1,0 +1,67 @@
+"""Fig. 13 -- Classical speedup vs the filtering-optimized serial Jasper.
+
+The paper: "When taking the filtering optimized code as the reference for
+our speedup measurements, we can observe a total speedup of little more
+than 2 ... the maximum theoretical speedup would be around 2.4" -- once
+the cache fix shrinks the parallel share, Amdahl's law caps the classical
+speedup.
+"""
+
+from __future__ import annotations
+
+from ..core.amdahl import theoretical_speedup_from_breakdown
+from ..core.speedup import SpeedupSeries
+from ..perf.costmodel import simulate_encode
+from ..smp.machine import SGI_POWER_CHALLENGE
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jasper_params, standard_workload
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig13_sgi_classical",
+        description="Classical speedup vs optimized serial code saturates a little above 2 (Amdahl)",
+        paper="Slightly above 2 measured; theoretical ceiling ~2.4 (4-CPU equivalent)",
+    )
+    kpix = 1024 if quick else 16384
+    cpus = (1, 4) if quick else (1, 2, 4, 6, 8, 10, 12, 16)
+    wl = standard_workload(kpix, quick)
+    params = jasper_params()
+    opt_serial = simulate_encode(
+        wl, SGI_POWER_CHALLENGE, 1, VerticalStrategy.AGGREGATED, params=params,
+        parallel_quant=True,
+    )
+    series = SpeedupSeries(
+        "OpenMP + modified filtering",
+        "filtering-optimized serial Jasper",
+        opt_serial.total_ms,
+        tuple(cpus),
+        tuple(
+            simulate_encode(
+                wl, SGI_POWER_CHALLENGE, n, VerticalStrategy.AGGREGATED,
+                params=params, parallel_quant=True,
+            ).total_ms
+            for n in cpus
+        ),
+    )
+    bound4 = theoretical_speedup_from_breakdown(opt_serial, 4)
+    for i, n in enumerate(cpus):
+        result.rows.append({"cpus": n, "classical_x": series.speedups[i]})
+    result.rows.append({"cpus": "theory(4)", "classical_x": bound4})
+
+    last = cpus[-1]
+    result.check(
+        f"classical speedup at {last} CPUs in 1.8..4.5 (paper: little more than 2)",
+        1.8 <= series.at(last) <= 4.5,
+    )
+    if len(cpus) >= 3:
+        result.check("speedup saturates", series.saturates(tolerance=0.2))
+    result.check(
+        "4-CPU Amdahl ceiling in 1.8..3.2 (paper ~2.4)", 1.8 <= bound4 <= 3.2
+    )
+    result.check(
+        "measured at 4 CPUs below its Amdahl ceiling", series.at(4) <= bound4 + 1e-9
+    )
+    return result

@@ -1,0 +1,75 @@
+"""EXPERIMENTS.md generator: run every figure experiment, record
+paper-vs-measured.
+
+Usage::
+
+    python -m repro.experiments.report [--quick] [-o EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import all_experiments
+
+_HEADER = """# EXPERIMENTS — paper vs. measured
+
+Reproduction record for every figure of *Parallel JPEG2000 Image Coding
+on Multiprocessors* (Meerwald, Norcen, Uhl; IPPS 2002).  Regenerate with
+`python -m repro.experiments.report -o EXPERIMENTS.md` (about 3 minutes)
+or per-figure via `pytest benchmarks/ --benchmark-only -s`.
+
+Conventions: quality experiments (Figs. 4, 5) run through the *real*
+codec on synthetic natural-statistics images; performance experiments
+(Figs. 2, 3, 6-13) report simulated milliseconds on the modelled 2002
+machines, driven by measured codec work statistics (DESIGN.md documents
+the substitutions).  Absolute numbers are calibrated once against the
+serial profile of Fig. 3; the pass/fail checks below assert the paper's
+*qualitative* claims — orderings, saturations, crossovers — which is the
+reproduction target.
+
+"""
+
+
+def generate(quick: bool = False, stream=None) -> str:
+    out = [_HEADER]
+    mods = all_experiments()
+    for name in sorted(mods):
+        t0 = time.time()
+        result = mods[name].run(quick=quick)
+        elapsed = time.time() - t0
+        status = "PASS" if result.all_passed else "FAIL"
+        if stream:
+            print(f"{name}: {status} ({elapsed:.1f}s)", file=stream, flush=True)
+        out.append(f"## {result.name} — {status}\n")
+        out.append(f"{result.description}\n")
+        out.append(f"**Paper:** {result.paper}\n")
+        out.append("**Checks:**\n")
+        for label, ok in result.checks:
+            out.append(f"- [{'x' if ok else ' '}] {label}")
+        out.append("\n**Measured:**\n")
+        out.append("```")
+        out.append(result.table())
+        out.append("```")
+        if result.notes:
+            out.append(f"\n*Notes:* {result.notes}")
+        out.append("")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="reduced-scale run")
+    ap.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    args = ap.parse_args(argv)
+    text = generate(quick=args.quick, stream=sys.stderr)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

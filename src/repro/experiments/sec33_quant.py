@@ -1,0 +1,54 @@
+"""Sec. 3.3 -- Quantization-stage parallel speedup.
+
+The paper: "Quantization can be parallelized easily and very
+straightforward ... we see speedups of approximately 3.2 for performing
+the quantization stage in parallel.  Nevertheless, the contribution of
+this small computation slice to the whole coding time is too small to
+show a reasonable performance improvement for the whole image coder."
+"""
+
+from __future__ import annotations
+
+from ..perf.costmodel import simulate_encode
+from ..smp.machine import INTEL_SMP
+from ..wavelet.strategies import VerticalStrategy
+from .common import ExperimentResult, jasper_params, standard_workload
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        name="sec33_quant",
+        description="Quantization parallelizes to ~3.2x on 4 CPUs but is too small to matter overall",
+        paper="Quantization-stage speedup ~3.2 (4 CPUs); negligible whole-coder impact",
+    )
+    kpix = 1024 if quick else 16384
+    wl = standard_workload(kpix, quick)
+    params = jasper_params()
+    serial = simulate_encode(
+        wl, INTEL_SMP, 1, VerticalStrategy.AGGREGATED, params=params, parallel_quant=False
+    )
+    par_with = simulate_encode(
+        wl, INTEL_SMP, 4, VerticalStrategy.AGGREGATED, params=params, parallel_quant=True
+    )
+    par_without = simulate_encode(
+        wl, INTEL_SMP, 4, VerticalStrategy.AGGREGATED, params=params, parallel_quant=False
+    )
+    q1 = serial.stage_ms["quantization"]
+    q4 = par_with.stage_ms["quantization"]
+    quant_speedup = q1 / q4
+    overall_gain = par_without.total_ms / par_with.total_ms
+    result.rows.append(
+        {
+            "quant_serial_ms": q1,
+            "quant_4cpu_ms": q4,
+            "quant_speedup_x": quant_speedup,
+            "whole_coder_gain_x": overall_gain,
+            "quant_share_of_serial": q1 / serial.total_ms,
+        }
+    )
+    result.check("quantization speedup in 2.5..4.0 (paper ~3.2)", 2.5 <= quant_speedup <= 4.0)
+    result.check("whole-coder gain from it below 25%", overall_gain < 1.25)
+    result.check("quantization is a small slice of serial time (<15%)", q1 < 0.15 * serial.total_ms)
+    return result

@@ -1,0 +1,23 @@
+"""Figure rendering: regenerate the paper's plots as SVG files.
+
+A dependency-free SVG chart writer (:mod:`repro.figures.svg`) plus one
+renderer per paper figure (:mod:`repro.figures.render`), driven by the
+same experiment modules the benchmarks run.  ``python -m
+repro.figures.render --outdir figures/`` writes ``fig02.svg`` ...
+``fig13.svg`` with the regenerated series, in the paper's layouts
+(stacked stage bars for Figs. 3/6/9, speedup curves for Figs. 8/11-13,
+PSNR-vs-bitrate families for Fig. 5, ...).
+"""
+
+from .svg import SvgCanvas, LineChart, BarChart, StackedBarChart
+from .render import render_figure, render_all, RENDERERS
+
+__all__ = [
+    "SvgCanvas",
+    "LineChart",
+    "BarChart",
+    "StackedBarChart",
+    "render_figure",
+    "render_all",
+    "RENDERERS",
+]

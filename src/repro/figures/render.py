@@ -1,0 +1,286 @@
+"""Per-figure SVG renderers, driven by the experiment modules.
+
+Each renderer runs one experiment (quick or full scale) and lays its
+regenerated series out like the paper's figure.  Usage::
+
+    python -m repro.figures.render --outdir figures/ [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from .svg import BarChart, LineChart, StackedBarChart
+
+__all__ = ["RENDERERS", "render_figure", "render_all"]
+
+_STAGE_ORDER = (
+    "image I/O",
+    "pipeline setup",
+    "inter-component transform",
+    "intra-component transform",
+    "quantization",
+    "tier-1 coding",
+    "R/D allocation",
+    "tier-2 coding",
+    "bitstream I/O",
+)
+
+
+def _fig02(quick: bool) -> str:
+    from ..experiments import fig02_timings
+
+    res = fig02_timings.run(quick)
+    chart = LineChart(
+        title="Fig. 2 — Compression timings (simulated Intel, serial)",
+        xlabel="image size (Kpixel)",
+        ylabel="runtime (ms)",
+        log_y=True,
+    )
+    jj, ja = [], []
+    for row in res.rows:
+        if row.get("kind") == "simulated":
+            k = float(row["size"].rstrip("K"))
+            jj.append((k, row["JJ2000_ms"]))
+            ja.append((k, row["Jasper_ms"]))
+    chart.add("JJ2000", jj)
+    chart.add("Jasper", ja)
+    return chart.render()
+
+
+def _stage_breakdown(title: str, rows, codec: str | None = None) -> str:
+    chart = StackedBarChart(
+        title=title, xlabel="image size (Kpixel)", ylabel="runtime (ms)"
+    )
+    selected = [r for r in rows if codec is None or r.get("codec") == codec]
+    chart.categories = [str(r["size"]) for r in selected]
+    for stage in _STAGE_ORDER:
+        if any(stage in r for r in selected):
+            chart.add(stage, [float(r.get(stage, 0.0)) for r in selected])
+    return chart.render()
+
+
+def _fig03(quick: bool) -> str:
+    from ..experiments import fig03_serial
+
+    res = fig03_serial.run(quick)
+    return _stage_breakdown(
+        "Fig. 3 — Serial runtime analysis (JJ2000, Intel)", res.rows, codec="JJ2000"
+    )
+
+
+def _fig04(quick: bool) -> str:
+    from ..experiments import fig04_artifacts
+
+    res = fig04_artifacts.run(quick)
+    chart = BarChart(
+        title="Fig. 4 — Artifacts at low bitrate (quantified)",
+        xlabel="codec",
+        ylabel="blockiness ratio / PSNR (dB)",
+    )
+    chart.categories = [r["codec"] for r in res.rows]
+    chart.add("PSNR (dB)", [r["psnr_db"] for r in res.rows])
+    chart.add("blockiness@8px", [r["blockiness_8"] for r in res.rows])
+    chart.add("blockiness@tile", [r["blockiness_tile"] for r in res.rows])
+    return chart.render()
+
+
+def _fig05(quick: bool) -> str:
+    from ..experiments import fig05_tiling
+
+    res = fig05_tiling.run(quick)
+    chart = LineChart(
+        title="Fig. 5 — Tile-based parallelization vs image quality",
+        xlabel="bitrate (bpp)",
+        ylabel="PSNR (dB)",
+    )
+    series: Dict[str, list] = {}
+    for row in res.rows:
+        label = f"{row['cpus']} CPUs ({row['tiles']} tiles)"
+        series.setdefault(label, []).append((row["bpp"], row["psnr_db"]))
+    for label, pts in series.items():
+        chart.add(label, pts)
+    return chart.render()
+
+
+def _fig06(quick: bool) -> str:
+    from ..experiments import fig06_parallel
+
+    res = fig06_parallel.run(quick)
+    chart = BarChart(
+        title="Fig. 6 — 4-CPU speedups, naive filtering (JJ2000, Intel)",
+        xlabel="image size",
+        ylabel="speedup (x)",
+    )
+    chart.categories = [r["size"] for r in res.rows]
+    chart.add("overall", [r["overall_x"] for r in res.rows])
+    chart.add("tier-1", [r["tier1_x"] for r in res.rows])
+    chart.add("DWT", [r["dwt_x"] for r in res.rows])
+    return chart.render()
+
+
+def _fig07(quick: bool) -> str:
+    from ..experiments import fig07_filtering
+
+    res = fig07_filtering.run(quick)
+    chart = BarChart(
+        title="Fig. 7 — Original and improved filtering (Intel)",
+        xlabel="# CPUs",
+        ylabel="time (ms)",
+    )
+    chart.categories = [str(r["cpus"]) for r in res.rows]
+    chart.add("vertical", [r["vertical_ms"] for r in res.rows])
+    chart.add("vert. improved", [r["vert_improved_ms"] for r in res.rows])
+    chart.add("horizontal", [r["horizontal_ms"] for r in res.rows])
+    return chart.render()
+
+
+def _fig08(quick: bool) -> str:
+    from ..experiments import fig08_filter_speedup
+
+    res = fig08_filter_speedup.run(quick)
+    chart = LineChart(
+        title="Fig. 8 — Speedup of filtering routines (Intel)",
+        xlabel="# CPUs",
+        ylabel="speedup (x)",
+    )
+    cpus = [r["cpus"] for r in res.rows]
+    chart.add("linear", [(c, c) for c in cpus])
+    chart.add("vertical", [(r["cpus"], r["vertical_x"]) for r in res.rows])
+    chart.add("vert. improved", [(r["cpus"], r["vert_improved_x"]) for r in res.rows])
+    chart.add("horizontal", [(r["cpus"], r["horizontal_x"]) for r in res.rows])
+    return chart.render()
+
+
+def _fig09(quick: bool) -> str:
+    from ..experiments import fig09_improved
+
+    res = fig09_improved.run(quick)
+    chart = BarChart(
+        title="Fig. 9 — Improved filtering at 4 CPUs vs original serial",
+        xlabel="image size",
+        ylabel="speedup (x) / fraction",
+    )
+    chart.categories = [r["size"] for r in res.rows]
+    chart.add("speedup vs original", [r["speedup_x"] for r in res.rows])
+    chart.add("sequential fraction", [r["seq_fraction"] for r in res.rows])
+    return chart.render()
+
+
+def _fig10(quick: bool) -> str:
+    from ..experiments import fig10_sgi_filtering
+
+    res = fig10_sgi_filtering.run(quick)
+    chart = LineChart(
+        title="Fig. 10 — Filtering runtimes on the SGI (16384 Kpixel)",
+        xlabel="# CPUs",
+        ylabel="runtime (ms)",
+        log_y=True,
+    )
+    chart.add("original vertical", [(r["cpus"], r["orig_vertical_ms"]) for r in res.rows])
+    chart.add("modified vertical", [(r["cpus"], r["mod_vertical_ms"]) for r in res.rows])
+    chart.add("original horizontal", [(r["cpus"], r["orig_horizontal_ms"]) for r in res.rows])
+    return chart.render()
+
+
+def _fig11(quick: bool) -> str:
+    from ..experiments import fig11_sgi_filter_speedup
+
+    res = fig11_sgi_filter_speedup.run(quick)
+    chart = LineChart(
+        title="Fig. 11 — Vertical-filter speedup vs original Jasper (SGI)",
+        xlabel="# CPUs",
+        ylabel="speedup vs original (x)",
+    )
+    chart.add("original", [(r["cpus"], r["orig_x"]) for r in res.rows])
+    chart.add("modified", [(r["cpus"], r["modified_x"]) for r in res.rows])
+    return chart.render()
+
+
+def _fig12(quick: bool) -> str:
+    from ..experiments import fig12_sgi_total
+
+    res = fig12_sgi_total.run(quick)
+    chart = LineChart(
+        title="Fig. 12 — Whole-coder speedup vs original Jasper (SGI)",
+        xlabel="# CPUs",
+        ylabel="speedup vs original (x)",
+    )
+    chart.add("OpenMP", [(r["cpus"], r["openmp_x"]) for r in res.rows])
+    chart.add(
+        "OpenMP + modified filtering",
+        [(r["cpus"], r["openmp_modified_x"]) for r in res.rows],
+    )
+    return chart.render()
+
+
+def _fig13(quick: bool) -> str:
+    from ..experiments import fig13_sgi_classical
+
+    res = fig13_sgi_classical.run(quick)
+    chart = LineChart(
+        title="Fig. 13 — Classical speedup vs optimized serial (SGI)",
+        xlabel="# CPUs",
+        ylabel="speedup (x)",
+    )
+    pts = [
+        (r["cpus"], r["classical_x"]) for r in res.rows if isinstance(r["cpus"], int)
+    ]
+    chart.add("OpenMP + modified filtering", pts)
+    theory = [r["classical_x"] for r in res.rows if r["cpus"] == "theory(4)"]
+    if theory:
+        chart.add("Amdahl bound (4 CPUs)", [(p[0], theory[0]) for p in pts])
+    return chart.render()
+
+
+RENDERERS: Dict[str, Callable[[bool], str]] = {
+    "fig02": _fig02,
+    "fig03": _fig03,
+    "fig04": _fig04,
+    "fig05": _fig05,
+    "fig06": _fig06,
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+}
+
+
+def render_figure(name: str, quick: bool = True) -> str:
+    """Render one paper figure to an SVG string."""
+    try:
+        renderer = RENDERERS[name]
+    except KeyError:
+        raise ValueError(f"unknown figure {name!r}; options: {sorted(RENDERERS)}") from None
+    return renderer(quick)
+
+
+def render_all(outdir: str, quick: bool = True, stream=None) -> None:
+    """Render every figure into ``outdir``."""
+    os.makedirs(outdir, exist_ok=True)
+    for name in sorted(RENDERERS):
+        svg = render_figure(name, quick)
+        path = os.path.join(outdir, f"{name}.svg")
+        with open(path, "w") as fh:
+            fh.write(svg)
+        if stream:
+            print(f"wrote {path}", file=stream, flush=True)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--outdir", default="figures")
+    ap.add_argument("--quick", action="store_true")
+    args = ap.parse_args(argv)
+    render_all(args.outdir, quick=args.quick, stream=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

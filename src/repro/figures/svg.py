@@ -1,0 +1,304 @@
+"""Minimal SVG chart writer (no plotting dependency).
+
+Three chart types cover every figure in the paper: line charts (speedup
+and PSNR curves), grouped bar charts (filtering times per CPU count) and
+stacked bar charts (stage breakdowns).  Output is plain SVG 1.1 with
+inline styling; axes get linear or log scales with sensible ticks.
+
+Only the features the paper's figures need are implemented -- this is a
+chart writer, not a plotting library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+__all__ = ["SvgCanvas", "LineChart", "BarChart", "StackedBarChart", "PALETTE"]
+
+#: Colorblind-safe categorical palette.
+PALETTE = (
+    "#4477AA",
+    "#EE6677",
+    "#228833",
+    "#CCBB44",
+    "#66CCEE",
+    "#AA3377",
+    "#BBBBBB",
+    "#222255",
+)
+
+
+class SvgCanvas:
+    """Accumulates SVG elements; knows nothing about data."""
+
+    def __init__(self, width: int = 640, height: int = 420) -> None:
+        self.width = width
+        self.height = height
+        self._parts: List[str] = []
+
+    def line(self, x1, y1, x2, y2, stroke="#333", width=1.0, dash=None) -> None:
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{d}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], stroke, width=2.0) -> None:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x, y, r=3.0, fill="#333") -> None:
+        self._parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{fill}"/>')
+
+    def rect(self, x, y, w, h, fill, stroke="none") -> None:
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(self, x, y, s, size=11, anchor="start", rotate=None, fill="#222") -> None:
+        tr = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" fill="{fill}"{tr}>'
+            f"{escape(str(s))}</text>"
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 6) -> List[float]:
+    """Sensible linear tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, n - 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        if raw <= mult * mag:
+            step = mult * mag
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-9 * span:
+        if t >= lo - 1e-9 * span:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 10:
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:g}"
+    return f"{v:g}"
+
+
+@dataclass
+class _Frame:
+    """Shared plot frame: margins, scales, axes, legend."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    width: int = 640
+    height: int = 420
+    margin_l: int = 62
+    margin_r: int = 16
+    margin_t: int = 34
+    margin_b: int = 52
+    log_y: bool = False
+
+    def plot_area(self) -> Tuple[float, float, float, float]:
+        return (
+            self.margin_l,
+            self.margin_t,
+            self.width - self.margin_r,
+            self.height - self.margin_b,
+        )
+
+    def y_scale(self, lo: float, hi: float):
+        x0, y0, x1, y1 = self.plot_area()
+        if self.log_y:
+            llo, lhi = math.log10(max(lo, 1e-12)), math.log10(max(hi, 1e-9))
+            if lhi <= llo:
+                lhi = llo + 1
+
+            def fn(v: float) -> float:
+                lv = math.log10(max(v, 1e-12))
+                return y1 - (lv - llo) / (lhi - llo) * (y1 - y0)
+
+            return fn
+        span = (hi - lo) or 1.0
+
+        def fn(v: float) -> float:
+            return y1 - (v - lo) / span * (y1 - y0)
+
+        return fn
+
+    def draw_frame(self, c: SvgCanvas, y_ticks: Sequence[float], sy) -> None:
+        x0, y0, x1, y1 = self.plot_area()
+        c.text(self.width / 2, 18, self.title, size=13, anchor="middle")
+        c.text(self.width / 2, self.height - 10, self.xlabel, anchor="middle")
+        c.text(16, (y0 + y1) / 2, self.ylabel, anchor="middle", rotate=-90)
+        c.line(x0, y0, x0, y1)
+        c.line(x0, y1, x1, y1)
+        for t in y_ticks:
+            y = sy(t)
+            c.line(x0 - 4, y, x0, y)
+            c.line(x0, y, x1, y, stroke="#ddd", width=0.5)
+            c.text(x0 - 7, y + 3.5, _fmt(t), size=10, anchor="end")
+
+    def draw_legend(self, c: SvgCanvas, labels: Sequence[str]) -> None:
+        x0, y0, x1, _ = self.plot_area()
+        lx, ly = x0 + 10, y0 + 8
+        for i, label in enumerate(labels):
+            color = PALETTE[i % len(PALETTE)]
+            c.rect(lx, ly + i * 16 - 7, 14, 8, fill=color)
+            c.text(lx + 19, ly + i * 16, label, size=10)
+
+
+@dataclass
+class LineChart(_Frame):
+    """Multi-series line chart with markers (speedup / PSNR curves)."""
+
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def add(self, label: str, points: Sequence[Tuple[float, float]]) -> None:
+        self.series[label] = [(float(x), float(y)) for x, y in points]
+
+    def render(self) -> str:
+        c = SvgCanvas(self.width, self.height)
+        all_pts = [p for pts in self.series.values() for p in pts]
+        if not all_pts:
+            raise ValueError("no series to plot")
+        xs = [p[0] for p in all_pts]
+        ys = [p[1] for p in all_pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo = 0.0 if not self.log_y else min(ys)
+        y_hi = max(ys) * 1.05
+        x0, y0, x1, y1 = self.plot_area()
+        span_x = (x_hi - x_lo) or 1.0
+        sx = lambda v: x0 + (v - x_lo) / span_x * (x1 - x0)
+        sy = self.y_scale(y_lo, y_hi)
+        if self.log_y:
+            exps = range(
+                math.floor(math.log10(max(y_lo, 1e-12))),
+                math.ceil(math.log10(y_hi)) + 1,
+            )
+            ticks = [10.0**e for e in exps]
+        else:
+            ticks = _nice_ticks(y_lo, y_hi)
+        self.draw_frame(c, ticks, sy)
+        for t in _nice_ticks(x_lo, x_hi, 7):
+            x = sx(t)
+            c.line(x, y1, x, y1 + 4)
+            c.text(x, y1 + 16, _fmt(t), size=10, anchor="middle")
+        for i, (label, pts) in enumerate(self.series.items()):
+            color = PALETTE[i % len(PALETTE)]
+            coords = [(sx(x), sy(y)) for x, y in sorted(pts)]
+            c.polyline(coords, stroke=color)
+            for x, y in coords:
+                c.circle(x, y, fill=color)
+        self.draw_legend(c, list(self.series))
+        return c.render()
+
+
+@dataclass
+class BarChart(_Frame):
+    """Grouped bars: one group per x category, one bar per series."""
+
+    categories: List[str] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, label: str, values: Sequence[float]) -> None:
+        self.series[label] = [float(v) for v in values]
+
+    def render(self) -> str:
+        if not self.series or not self.categories:
+            raise ValueError("need categories and series")
+        for label, vals in self.series.items():
+            if len(vals) != len(self.categories):
+                raise ValueError(f"series {label!r} length mismatch")
+        c = SvgCanvas(self.width, self.height)
+        hi = max(max(v) for v in self.series.values()) * 1.05
+        lo = min(0.0, min(min(v) for v in self.series.values()))
+        sy = self.y_scale(lo if not self.log_y else hi / 1e4, hi)
+        ticks = (
+            [10.0**e for e in range(max(0, math.floor(math.log10(hi)) - 3), math.ceil(math.log10(hi)) + 1)]
+            if self.log_y
+            else _nice_ticks(lo, hi)
+        )
+        self.draw_frame(c, ticks, sy)
+        x0, y0, x1, y1 = self.plot_area()
+        n_groups = len(self.categories)
+        n_series = len(self.series)
+        group_w = (x1 - x0) / n_groups
+        bar_w = group_w * 0.8 / n_series
+        base = sy(max(lo, hi / 1e4 if self.log_y else 0.0))
+        for g, cat in enumerate(self.categories):
+            gx = x0 + g * group_w + group_w * 0.1
+            for i, (label, vals) in enumerate(self.series.items()):
+                color = PALETTE[i % len(PALETTE)]
+                top = sy(max(vals[g], hi / 1e4 if self.log_y else 0.0))
+                c.rect(gx + i * bar_w, top, bar_w - 1, max(0.5, base - top), fill=color)
+            c.text(gx + group_w * 0.4, y1 + 16, cat, size=10, anchor="middle")
+        self.draw_legend(c, list(self.series))
+        return c.render()
+
+
+@dataclass
+class StackedBarChart(_Frame):
+    """Stacked bars (the paper's per-stage runtime breakdowns)."""
+
+    categories: List[str] = field(default_factory=list)
+    layers: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, label: str, values: Sequence[float]) -> None:
+        self.layers[label] = [float(v) for v in values]
+
+    def render(self) -> str:
+        if not self.layers or not self.categories:
+            raise ValueError("need categories and layers")
+        c = SvgCanvas(self.width, self.height)
+        totals = [
+            sum(vals[g] for vals in self.layers.values())
+            for g in range(len(self.categories))
+        ]
+        hi = max(totals) * 1.05
+        sy = self.y_scale(0.0, hi)
+        self.draw_frame(c, _nice_ticks(0.0, hi), sy)
+        x0, y0, x1, y1 = self.plot_area()
+        group_w = (x1 - x0) / len(self.categories)
+        bar_w = group_w * 0.55
+        for g, cat in enumerate(self.categories):
+            gx = x0 + g * group_w + (group_w - bar_w) / 2
+            acc = 0.0
+            for i, (label, vals) in enumerate(self.layers.items()):
+                color = PALETTE[i % len(PALETTE)]
+                y_top = sy(acc + vals[g])
+                y_bot = sy(acc)
+                c.rect(gx, y_top, bar_w, max(0.0, y_bot - y_top), fill=color)
+                acc += vals[g]
+            c.text(gx + bar_w / 2, y1 + 16, cat, size=10, anchor="middle")
+        self.draw_legend(c, list(self.layers))
+        return c.render()

@@ -1,0 +1,47 @@
+"""Image substrate: I/O, synthetic image generation, and quality metrics.
+
+The paper evaluates on natural photographs (e.g. the Lena image) of sizes
+from 256 Kpixel (512x512) up to 16384 Kpixel (4096x4096).  Those images are
+not redistributable, so this package provides deterministic synthetic images
+with natural-image statistics (a 1/f power spectrum plus edges and texture)
+that exercise the same codec behaviour: spatially correlated data that a
+wavelet transform decorrelates well, and across-tile correlation that tiling
+destroys.
+
+Public API
+----------
+- :func:`read_pnm` / :func:`write_pnm` -- minimal PGM/PPM (binary) codecs.
+- :func:`synthetic_image` -- deterministic natural-statistics test images.
+- :func:`psnr`, :func:`mse`, :func:`entropy_bits` -- quality metrics.
+"""
+
+from .io import read_pnm, write_pnm, read_raw, write_raw
+from .metrics import mse, psnr, mae, entropy_bits, rate_bpp
+from .synthetic import (
+    SyntheticSpec,
+    fbm_image,
+    edges_image,
+    texture_image,
+    synthetic_image,
+    standard_sizes_kpixels,
+    image_for_kpixels,
+)
+
+__all__ = [
+    "read_pnm",
+    "write_pnm",
+    "read_raw",
+    "write_raw",
+    "mse",
+    "psnr",
+    "mae",
+    "entropy_bits",
+    "rate_bpp",
+    "SyntheticSpec",
+    "fbm_image",
+    "edges_image",
+    "texture_image",
+    "synthetic_image",
+    "standard_sizes_kpixels",
+    "image_for_kpixels",
+]

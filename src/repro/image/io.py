@@ -1,0 +1,128 @@
+"""Minimal image file I/O: binary PGM (P5), PPM (P6) and raw dumps.
+
+JPEG2000 reference codecs read PNM-family containers; we implement the two
+binary variants from scratch (no external imaging library).  Only 8-bit and
+16-bit samples are supported, which covers everything the experiments need.
+
+The parsers are strict about structure but tolerant about whitespace and
+``#`` comments, matching the netpbm specification.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import BinaryIO, Union
+
+import numpy as np
+
+__all__ = ["read_pnm", "write_pnm", "read_raw", "write_raw"]
+
+_PathLike = Union[str, Path]
+
+
+def _read_token(stream: BinaryIO) -> bytes:
+    """Read one whitespace-delimited token, skipping ``#`` comments."""
+    token = b""
+    while True:
+        ch = stream.read(1)
+        if ch == b"":
+            if token:
+                return token
+            raise ValueError("unexpected end of PNM header")
+        if ch == b"#":
+            # Comment runs to end of line.
+            while ch not in (b"\n", b"\r", b""):
+                ch = stream.read(1)
+            continue
+        if ch.isspace():
+            if token:
+                return token
+            continue
+        token += ch
+
+
+def read_pnm(path_or_stream: Union[_PathLike, BinaryIO]) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) file.
+
+    Parameters
+    ----------
+    path_or_stream:
+        File path or binary stream.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(H, W)`` array for PGM, ``(H, W, 3)`` for PPM.  dtype is
+        ``uint8`` when ``maxval < 256`` else ``uint16`` (big-endian samples
+        per the spec, converted to native order).
+    """
+    if isinstance(path_or_stream, (str, Path)):
+        with open(path_or_stream, "rb") as fh:
+            return read_pnm(fh)
+    stream = path_or_stream
+    magic = _read_token(stream)
+    if magic not in (b"P5", b"P6"):
+        raise ValueError(f"unsupported PNM magic {magic!r} (want P5/P6)")
+    width = int(_read_token(stream))
+    height = int(_read_token(stream))
+    maxval = int(_read_token(stream))
+    if not (0 < maxval < 65536):
+        raise ValueError(f"invalid maxval {maxval}")
+    channels = 3 if magic == b"P6" else 1
+    dtype = np.dtype(">u2") if maxval > 255 else np.dtype("u1")
+    count = width * height * channels
+    raw = stream.read(count * dtype.itemsize)
+    if len(raw) < count * dtype.itemsize:
+        raise ValueError("truncated PNM pixel data")
+    data = np.frombuffer(raw, dtype=dtype, count=count)
+    data = data.astype(np.uint16 if maxval > 255 else np.uint8)
+    if channels == 1:
+        return data.reshape(height, width)
+    return data.reshape(height, width, 3)
+
+
+def write_pnm(path_or_stream: Union[_PathLike, BinaryIO], image: np.ndarray) -> None:
+    """Write a binary PGM (2-D input) or PPM (3-D, 3-channel input) file."""
+    if isinstance(path_or_stream, (str, Path)):
+        with open(path_or_stream, "wb") as fh:
+            write_pnm(fh, image)
+            return
+    stream = path_or_stream
+    image = np.asarray(image)
+    if image.ndim == 2:
+        magic, channels = b"P5", 1
+    elif image.ndim == 3 and image.shape[2] == 3:
+        magic, channels = b"P6", 3
+    else:
+        raise ValueError(f"expected (H,W) or (H,W,3) image, got {image.shape}")
+    if image.dtype == np.uint8:
+        maxval, out_dtype = 255, np.dtype("u1")
+    elif image.dtype == np.uint16:
+        maxval, out_dtype = 65535, np.dtype(">u2")
+    else:
+        raise ValueError(f"expected uint8/uint16 samples, got {image.dtype}")
+    height, width = image.shape[:2]
+    stream.write(magic + b"\n%d %d\n%d\n" % (width, height, maxval))
+    stream.write(np.ascontiguousarray(image, dtype=image.dtype).astype(out_dtype).tobytes())
+
+
+def write_raw(path: _PathLike, image: np.ndarray) -> None:
+    """Dump an array to disk as raw native-endian samples (no header)."""
+    np.asarray(image).tofile(str(path))
+
+
+def read_raw(path: _PathLike, shape: tuple, dtype=np.uint8) -> np.ndarray:
+    """Read a raw sample dump written by :func:`write_raw`."""
+    data = np.fromfile(str(path), dtype=dtype)
+    expected = int(np.prod(shape))
+    if data.size != expected:
+        raise ValueError(f"raw file has {data.size} samples, expected {expected}")
+    return data.reshape(shape)
+
+
+def pnm_roundtrip_bytes(image: np.ndarray) -> bytes:
+    """Serialize an image to PNM bytes (convenience for tests)."""
+    buf = _io.BytesIO()
+    write_pnm(buf, image)
+    return buf.getvalue()

@@ -1,0 +1,198 @@
+"""Deterministic synthetic test images with natural-image statistics.
+
+The paper's experiments use photographs (Lena and larger scans).  We cannot
+redistribute those, so every experiment in this repository runs on synthetic
+images engineered to share the two statistical properties that drive the
+paper's results:
+
+1. **Spatial correlation with a 1/f power spectrum** (fractional Brownian
+   motion fields).  Natural images have power spectra close to
+   ``1/f^2``; this is what makes a global wavelet transform decorrelate
+   well and what makes *tiled* transforms lose quality at tile boundaries
+   (Figs. 4 and 5).
+2. **Sparse strong edges and locally varying texture**, which create the
+   uneven per-code-block coding effort that motivates the paper's staggered
+   round-robin code-block scheduling (Sec. 3.2).
+
+All generators take an integer ``seed`` and are bit-reproducible across
+runs (``numpy.random.Generator(PCG64(seed))``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SyntheticSpec",
+    "fbm_image",
+    "edges_image",
+    "texture_image",
+    "synthetic_image",
+    "standard_sizes_kpixels",
+    "image_for_kpixels",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Recipe for a synthetic test image.
+
+    Attributes
+    ----------
+    height, width:
+        Image dimensions in pixels.
+    kind:
+        One of ``"fbm"``, ``"edges"``, ``"texture"``, ``"mix"``.
+    seed:
+        RNG seed; equal specs produce bit-identical images.
+    beta:
+        Spectral slope for the fBm component (natural images: ~2.0).
+    """
+
+    height: int
+    width: int
+    kind: str = "mix"
+    seed: int = 0
+    beta: float = 2.0
+
+
+def _spectral_field(height: int, width: int, beta: float, rng: np.random.Generator) -> np.ndarray:
+    """Random field with isotropic power spectrum ``1/f**beta`` (float64, zero mean)."""
+    fy = np.fft.fftfreq(height)[:, None]
+    fx = np.fft.rfftfreq(width)[None, :]
+    radius = np.sqrt(fy * fy + fx * fx)
+    radius[0, 0] = 1.0  # avoid div-by-zero at DC; DC is zeroed below
+    amplitude = radius ** (-beta / 2.0)
+    amplitude[0, 0] = 0.0
+    phase = rng.uniform(0.0, 2.0 * math.pi, size=amplitude.shape)
+    spectrum = amplitude * np.exp(1j * phase)
+    field = np.fft.irfft2(spectrum, s=(height, width))
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field
+
+
+def fbm_image(height: int, width: int, seed: int = 0, beta: float = 2.0) -> np.ndarray:
+    """Fractional-Brownian-motion style image, uint8, full dynamic range.
+
+    The ``1/f^(beta/2)`` amplitude spectrum mimics the second-order
+    statistics of natural photographs, so rate-distortion behaviour of
+    wavelet coding on these images follows the same trends as on Lena.
+    """
+    rng = np.random.default_rng(seed)
+    field = _spectral_field(height, width, beta, rng)
+    lo, hi = field.min(), field.max()
+    if hi - lo <= 0:
+        return np.zeros((height, width), dtype=np.uint8)
+    return np.clip((field - lo) / (hi - lo) * 255.0, 0, 255).astype(np.uint8)
+
+
+def edges_image(height: int, width: int, seed: int = 0, n_shapes: int = 24) -> np.ndarray:
+    """Piecewise-constant image of overlapping rectangles and disks.
+
+    Strong step edges concentrate wavelet energy in few coefficients and
+    make per-code-block coding effort highly non-uniform -- the load-balance
+    scenario the paper's staggered round-robin scheduling targets.
+    """
+    rng = np.random.default_rng(seed)
+    img = np.full((height, width), 128.0)
+    ys = np.arange(height)[:, None]
+    xs = np.arange(width)[None, :]
+    for _ in range(n_shapes):
+        level = rng.uniform(0, 255)
+        if rng.random() < 0.5:
+            y0, x0 = rng.integers(0, height), rng.integers(0, width)
+            h = int(rng.integers(height // 16 + 1, max(height // 3, height // 16 + 2)))
+            w = int(rng.integers(width // 16 + 1, max(width // 3, width // 16 + 2)))
+            img[y0 : y0 + h, x0 : x0 + w] = level
+        else:
+            cy, cx = rng.integers(0, height), rng.integers(0, width)
+            r = int(rng.integers(min(height, width) // 16 + 1, min(height, width) // 4 + 2))
+            mask = (ys - cy) ** 2 + (xs - cx) ** 2 <= r * r
+            img[mask] = level
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def texture_image(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """Oriented sinusoidal gratings plus noise: high-frequency texture.
+
+    Texture regions are the expensive case for tier-1 bit-plane coding
+    (many significant coefficients in the detail subbands).
+    """
+    rng = np.random.default_rng(seed)
+    ys = np.arange(height)[:, None].astype(np.float64)
+    xs = np.arange(width)[None, :].astype(np.float64)
+    img = np.zeros((height, width))
+    for _ in range(5):
+        freq = rng.uniform(0.02, 0.25)
+        theta = rng.uniform(0, math.pi)
+        phase = rng.uniform(0, 2 * math.pi)
+        img += rng.uniform(0.3, 1.0) * np.sin(
+            2 * math.pi * freq * (ys * math.sin(theta) + xs * math.cos(theta)) + phase
+        )
+    img += rng.normal(0.0, 0.15, size=img.shape)
+    lo, hi = img.min(), img.max()
+    return np.clip((img - lo) / (hi - lo) * 255.0, 0, 255).astype(np.uint8)
+
+
+def synthetic_image(spec: SyntheticSpec) -> np.ndarray:
+    """Build the image described by ``spec`` (uint8, ``(H, W)``).
+
+    ``kind="mix"`` blends all three component generators (60% fBm base,
+    25% edges, 15% texture), which is the default workload for every
+    experiment: smooth regions, edges, and texture in one frame, like a
+    natural photograph.
+    """
+    h, w = spec.height, spec.width
+    if h <= 0 or w <= 0:
+        raise ValueError(f"image dimensions must be positive, got {h}x{w}")
+    if spec.kind == "fbm":
+        return fbm_image(h, w, spec.seed, spec.beta)
+    if spec.kind == "edges":
+        return edges_image(h, w, spec.seed)
+    if spec.kind == "texture":
+        return texture_image(h, w, spec.seed)
+    if spec.kind == "mix":
+        base = fbm_image(h, w, spec.seed, spec.beta).astype(np.float64)
+        edge = edges_image(h, w, spec.seed + 1).astype(np.float64)
+        tex = texture_image(h, w, spec.seed + 2).astype(np.float64)
+        mix = 0.60 * base + 0.25 * edge + 0.15 * tex
+        return np.clip(mix, 0, 255).astype(np.uint8)
+    raise ValueError(f"unknown synthetic image kind {spec.kind!r}")
+
+
+#: The image sizes (in Kpixel) on the x-axis of the paper's Figs. 2, 3, 6, 9.
+_PAPER_SIZES_KPIXELS: Dict[int, Tuple[int, int]] = {
+    256: (512, 512),
+    576: (768, 768),
+    1024: (1024, 1024),
+    2304: (1536, 1536),
+    4096: (2048, 2048),
+    9216: (3072, 3072),
+    16384: (4096, 4096),
+}
+
+
+def standard_sizes_kpixels() -> Tuple[int, ...]:
+    """The image sizes (Kpixel) used on the paper's figure axes."""
+    return tuple(sorted(_PAPER_SIZES_KPIXELS))
+
+
+def image_for_kpixels(kpixels: int, seed: int = 0, kind: str = "mix") -> np.ndarray:
+    """Build the standard test image for a paper-axis size in Kpixel.
+
+    The paper uses square power-of-two-width images (that width is what
+    triggers the cache pathology of Sec. 3.2), so 256 Kpixel -> 512x512,
+    16384 Kpixel -> 4096x4096, etc.
+    """
+    try:
+        h, w = _PAPER_SIZES_KPIXELS[int(kpixels)]
+    except KeyError:
+        side = int(round(math.sqrt(kpixels * 1024)))
+        h = w = side
+    return synthetic_image(SyntheticSpec(height=h, width=w, kind=kind, seed=seed))

@@ -1,0 +1,40 @@
+"""Performance model: codec work -> simulated milliseconds.
+
+The bridge between the *real* Python codec and the *simulated* 2002 SMPs
+(:mod:`repro.smp`).  The pipeline's instrumented work statistics (sweep
+geometry, tier-1 decision counts, byte counts) are converted into
+:class:`~repro.smp.Task` costs with a small set of per-stage operation
+constants (:class:`WorkParams`), plus cache-miss counts from the
+validated analytic model (:mod:`repro.cachesim.analytic`) evaluated
+against both levels of the machine's cache hierarchy.
+
+Calibration (see ``repro.perf.calibrate``): the operation constants are
+fitted once against the paper's *serial* profile (Fig. 3, Pentium II
+Xeon); every parallel figure then follows from the model structure with
+no per-figure tuning.  Workloads can be built from a real
+:class:`~repro.codec.encoder.EncodeResult` or extrapolated from a small
+real encode to the paper's image sizes via measured per-pixel statistics.
+"""
+
+from .workmodel import WorkParams, Workload, DEFAULT_WORK_PARAMS
+from .costmodel import PipelineModel, simulate_encode, simulate_decode, StageBreakdown
+from .calibrate import (
+    workload_from_encode_result,
+    scaled_workload,
+    measure_pixel_stats,
+    PixelStats,
+)
+
+__all__ = [
+    "WorkParams",
+    "Workload",
+    "DEFAULT_WORK_PARAMS",
+    "PipelineModel",
+    "simulate_encode",
+    "simulate_decode",
+    "StageBreakdown",
+    "workload_from_encode_result",
+    "scaled_workload",
+    "measure_pixel_stats",
+    "PixelStats",
+]

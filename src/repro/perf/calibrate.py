@@ -1,0 +1,105 @@
+"""Workload construction and scale extrapolation.
+
+The paper's figures run on images up to 16384 Kpixel; encoding those for
+real in Python is possible but slow, so the experiments measure tier-1
+statistics (MQ decisions per pixel, coding passes per block, compressed
+bytes per pixel) on a *real* encode of a small instance of the same
+synthetic image family, then extrapolate linearly in pixel count.
+Linearity holds because tier-1 decisions are per-sample events whose
+density depends on image statistics (held fixed by the generator), not on
+image size; the test suite checks the extrapolation against real encodes
+at two sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .workmodel import Workload
+
+__all__ = ["PixelStats", "measure_pixel_stats", "workload_from_encode_result", "scaled_workload"]
+
+
+@dataclass(frozen=True)
+class PixelStats:
+    """Per-pixel tier-1/rate statistics measured from a real encode."""
+
+    decisions_per_sample: float
+    passes_per_block: float
+    bytes_per_sample: float
+
+    def __post_init__(self) -> None:
+        if self.decisions_per_sample < 0 or self.bytes_per_sample < 0:
+            raise ValueError("statistics must be non-negative")
+
+
+def workload_from_encode_result(result) -> Workload:
+    """Exact workload of a real :func:`repro.codec.encode_image` run."""
+    height, width = result.image_shape
+    block_work = tuple(
+        (rec.decisions, rec.n_samples, rec.encoded.n_passes) for rec in result.blocks
+    )
+    return Workload(
+        height=height,
+        width=width,
+        levels=result.params.effective_levels(height, width),
+        filter_name=result.params.filter_name,
+        block_work=block_work,
+        compressed_bytes=len(result.data),
+    )
+
+
+def measure_pixel_stats(result) -> PixelStats:
+    """Extract per-pixel statistics from a real encode for extrapolation."""
+    height, width = result.image_shape
+    samples = height * width
+    decisions = sum(rec.decisions for rec in result.blocks)
+    passes = sum(rec.encoded.n_passes for rec in result.blocks)
+    n_blocks = max(1, len(result.blocks))
+    return PixelStats(
+        decisions_per_sample=decisions / samples,
+        passes_per_block=passes / n_blocks,
+        bytes_per_sample=len(result.data) / samples,
+    )
+
+
+def scaled_workload(
+    height: int,
+    width: int,
+    stats: PixelStats,
+    levels: int = 5,
+    filter_name: str = "9/7",
+    cb_size: int = 64,
+    seed: int = 0,
+) -> Workload:
+    """Build a paper-scale workload from small-encode statistics.
+
+    Code-block decision counts get a deterministic +-30% spread around
+    the mean (seeded linear-congruential phase) so the tier-1 scheduling
+    experiments see the realistic per-block variance that motivates the
+    paper's staggered round robin.
+    """
+    from ..codec.blocks import band_layouts
+
+    layouts = band_layouts(height, width, levels, cb_size)
+    blocks: List[Tuple[int, int, int]] = []
+    mean_passes = max(1, round(stats.passes_per_block))
+    state = (seed * 2654435761 + 97531) & 0xFFFFFFFF
+    for key in sorted(layouts):
+        layout = layouts[key]
+        if layout.is_empty:
+            continue
+        for binfo in layout.blocks():
+            state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+            jitter = 0.7 + 0.6 * (state / 0xFFFFFFFF)
+            decisions = int(stats.decisions_per_sample * binfo.n_samples * jitter)
+            blocks.append((decisions, binfo.n_samples, mean_passes))
+    return Workload(
+        height=height,
+        width=width,
+        levels=levels,
+        filter_name=filter_name,
+        block_work=tuple(blocks),
+        compressed_bytes=int(stats.bytes_per_sample * height * width),
+    )

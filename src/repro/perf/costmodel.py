@@ -1,0 +1,330 @@
+"""Pipeline cost model: simulate a full encode on a modelled SMP.
+
+:func:`simulate_encode` builds the barrier-phase schedule of the paper's
+parallelization -- per decomposition level a vertical phase and a
+horizontal phase ("synchronization is required at each decomposition
+level between vertical and horizontal filtering"), a worker-pool tier-1
+phase over code-blocks, optionally a parallel quantization phase, and
+single-CPU phases for the intrinsically sequential stages -- then runs it
+on a :class:`~repro.smp.SimulatedSMP` and reports per-stage simulated
+milliseconds using the paper's Fig. 3 stage names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..smp.executor import RunResult, SimulatedSMP
+from ..smp.machine import MachineSpec
+from ..smp.pool import staggered_round_robin, static_block_partition
+from ..smp.task import Task
+from ..wavelet.filters import get_filter
+from ..wavelet.strategies import (
+    VerticalStrategy,
+    plan_horizontal_filter,
+    plan_vertical_filter,
+)
+from .workmodel import (
+    DEFAULT_WORK_PARAMS,
+    WorkParams,
+    Workload,
+    dwt_sweep_task,
+    serial_stage_task,
+    split_sweep,
+    t1_block_task,
+)
+
+__all__ = ["StageBreakdown", "PipelineModel", "simulate_encode", "simulate_decode"]
+
+
+@dataclass
+class StageBreakdown:
+    """Simulated per-stage milliseconds of one run."""
+
+    machine: MachineSpec
+    n_cpus: int
+    strategy: VerticalStrategy
+    stage_ms: Dict[str, float]
+    run: RunResult
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.stage_ms.values())
+
+    def dwt_ms(self) -> float:
+        return sum(v for k, v in self.stage_ms.items() if k.startswith("DWT"))
+
+    def vertical_ms(self) -> float:
+        return sum(v for k, v in self.stage_ms.items() if "vertical" in k)
+
+    def horizontal_ms(self) -> float:
+        return sum(v for k, v in self.stage_ms.items() if "horizontal" in k)
+
+    def sequential_ms(self) -> float:
+        """Stages run on one CPU regardless of the machine size."""
+        seq = (
+            "image I/O",
+            "pipeline setup",
+            "inter-component transform",
+            "R/D allocation",
+            "tier-2 coding",
+            "bitstream I/O",
+        )
+        return sum(self.stage_ms.get(k, 0.0) for k in seq)
+
+    def figure3_stages(self) -> Dict[str, float]:
+        """Aggregate to the exact stage names of the paper's Fig. 3."""
+        out: Dict[str, float] = {}
+        for key, value in self.stage_ms.items():
+            if key.startswith("DWT") or key.startswith("IDWT"):
+                name = "intra-component transform"
+            elif key.startswith("tier-1"):
+                name = "tier-1 coding"
+            else:
+                name = key
+            out[name] = out.get(name, 0.0) + value
+        return out
+
+
+@dataclass
+class PipelineModel:
+    """Reusable model instance binding machine + work parameters."""
+
+    machine: MachineSpec
+    params: WorkParams = field(default_factory=lambda: DEFAULT_WORK_PARAMS)
+
+    def simulate(
+        self,
+        workload: Workload,
+        n_cpus: int = 1,
+        strategy: VerticalStrategy = VerticalStrategy.NAIVE,
+        parallel_dwt: bool = True,
+        parallel_t1: bool = True,
+        parallel_quant: bool = False,
+        scheduler=staggered_round_robin,
+    ) -> StageBreakdown:
+        return simulate_encode(
+            workload,
+            self.machine,
+            n_cpus=n_cpus,
+            strategy=strategy,
+            params=self.params,
+            parallel_dwt=parallel_dwt,
+            parallel_t1=parallel_t1,
+            parallel_quant=parallel_quant,
+            scheduler=scheduler,
+        )
+
+
+def simulate_encode(
+    workload: Workload,
+    machine: MachineSpec,
+    n_cpus: int = 1,
+    strategy: VerticalStrategy = VerticalStrategy.NAIVE,
+    params: WorkParams = DEFAULT_WORK_PARAMS,
+    parallel_dwt: bool = True,
+    parallel_t1: bool = True,
+    parallel_quant: bool = False,
+    scheduler=staggered_round_robin,
+) -> StageBreakdown:
+    """Simulate one encode; returns the per-stage breakdown.
+
+    ``n_cpus = 1`` with ``strategy = NAIVE`` reproduces the serial
+    profile of Fig. 3; varying ``n_cpus`` / ``strategy`` produces every
+    parallel figure.
+    """
+    if n_cpus < 1:
+        raise ValueError("need at least one CPU")
+    smp = SimulatedSMP(machine, n_cpus)
+    bank = get_filter(workload.filter_name)
+    phases: List[Tuple[str, Sequence[Sequence[Task]]]] = []
+    samples = workload.samples
+    p = params
+
+    def serial(name: str, ops: float, bytes_touched: float) -> None:
+        phases.append((name, [[serial_stage_task(name, ops, bytes_touched, machine)]]))
+
+    serial("image I/O", samples * p.io_ops_per_sample, samples * 1.0)
+    serial("pipeline setup", samples * p.setup_ops_per_sample, samples * workload.elem_size)
+    serial(
+        "inter-component transform",
+        samples * p.inter_ops_per_sample,
+        samples * workload.elem_size,
+    )
+
+    def fork_join(assignment: List[List[Task]], name: str) -> List[List[Task]]:
+        """Add the parallel-runtime fork/join overhead to a phase.
+
+        Serialized thread management lands on one CPU's timeline --
+        harmless when the phase is serial, a real cost when parallel.
+        """
+        if len(assignment) > 1:
+            assignment[0] = list(assignment[0]) + [
+                Task(name=f"{name} fork/join", ops=p.fork_join_ops, tag="sync")
+            ]
+        return assignment
+
+    # DWT: per level, vertical phase then horizontal phase (barrier between).
+    dwt_cpus = n_cpus if parallel_dwt else 1
+    for level in range(1, workload.levels + 1):
+        v_sweep = plan_vertical_filter(
+            workload.height, workload.width, level, bank, strategy, workload.elem_size
+        )
+        h_sweep = plan_horizontal_filter(
+            workload.height, workload.width, level, bank, strategy, workload.elem_size
+        )
+        v_task = dwt_sweep_task(v_sweep, bank, machine, p, f"DWT vertical L{level}")
+        h_task = dwt_sweep_task(h_sweep, bank, machine, p, f"DWT horizontal L{level}")
+        phases.append(
+            (f"DWT vertical L{level}", fork_join(split_sweep(v_task, dwt_cpus), "dwt-v"))
+        )
+        phases.append(
+            (f"DWT horizontal L{level}", fork_join(split_sweep(h_task, dwt_cpus), "dwt-h"))
+        )
+
+    # Quantization: chunked across CPUs when parallelized (Sec. 3.3).
+    quant_task = serial_stage_task(
+        "quantization", samples * p.quant_ops_per_sample, samples * workload.elem_size, machine
+    )
+    if parallel_quant and n_cpus > 1:
+        phases.append(("quantization", fork_join(split_sweep(quant_task, n_cpus), "quant")))
+    else:
+        phases.append(("quantization", [[quant_task]]))
+
+    # Tier-1: independent code-blocks on a worker pool.  Queue dispatch is
+    # serialized on the pool's shared state.
+    t1_tasks = [
+        t1_block_task(d, s, passes, machine, p, f"cb-{i}")
+        for i, (d, s, passes) in enumerate(workload.block_work)
+    ]
+    t1_cpus = n_cpus if parallel_t1 else 1
+    assignment = scheduler(t1_tasks, t1_cpus)
+    if t1_cpus > 1:
+        dispatch = Task(
+            name="pool dispatch",
+            ops=p.pool_dispatch_ops * len(t1_tasks),
+            tag="sync",
+        )
+        assignment = [list(cpu) for cpu in assignment]
+        assignment[0].append(dispatch)
+        assignment = fork_join(assignment, "t1")
+    phases.append(("tier-1 coding", assignment))
+
+    serial("R/D allocation", workload.total_passes * p.rd_ops_per_pass, workload.total_passes * 16.0)
+    serial(
+        "tier-2 coding",
+        workload.compressed_bytes * p.t2_ops_per_byte,
+        workload.compressed_bytes * 2.0,
+    )
+    serial(
+        "bitstream I/O",
+        workload.compressed_bytes * p.bitstream_ops_per_byte,
+        workload.compressed_bytes * 2.0,
+    )
+
+    run = smp.run(phases)
+    stage_ms: Dict[str, float] = run.stage_ms()
+    return StageBreakdown(
+        machine=machine,
+        n_cpus=n_cpus,
+        strategy=strategy,
+        stage_ms=stage_ms,
+        run=run,
+    )
+
+
+def simulate_decode(
+    workload: Workload,
+    machine: MachineSpec,
+    n_cpus: int = 1,
+    strategy: VerticalStrategy = VerticalStrategy.NAIVE,
+    params: WorkParams = DEFAULT_WORK_PARAMS,
+    parallel_idwt: bool = True,
+    parallel_t1: bool = True,
+    scheduler=staggered_round_robin,
+) -> StageBreakdown:
+    """Simulate a full *decode* on a modelled SMP (extension study).
+
+    The paper parallelizes encoding only, but its structure transfers
+    symmetrically: tier-1 *decoding* of independent code-blocks runs on
+    the same worker pool, and the inverse DWT has the same per-level
+    vertical/horizontal sweeps -- including the same power-of-two column
+    pathology, which the aggregated strategy fixes identically.  The
+    intrinsically sequential stages differ: tier-2 parsing replaces rate
+    allocation, and the packet headers must be parsed before blocks can
+    be dispatched.
+    """
+    if n_cpus < 1:
+        raise ValueError("need at least one CPU")
+    smp = SimulatedSMP(machine, n_cpus)
+    bank = get_filter(workload.filter_name)
+    phases: List[Tuple[str, Sequence[Sequence[Task]]]] = []
+    samples = workload.samples
+    p = params
+
+    def serial(name: str, ops: float, bytes_touched: float) -> None:
+        phases.append((name, [[serial_stage_task(name, ops, bytes_touched, machine)]]))
+
+    def fork_join(assignment: List[List[Task]], name: str) -> List[List[Task]]:
+        if len(assignment) > 1:
+            assignment[0] = list(assignment[0]) + [
+                Task(name=f"{name} fork/join", ops=p.fork_join_ops, tag="sync")
+            ]
+        return assignment
+
+    serial("bitstream I/O", workload.compressed_bytes * p.bitstream_ops_per_byte * 0.6,
+           workload.compressed_bytes)
+    serial("tier-2 coding", workload.compressed_bytes * p.t2_ops_per_byte,
+           workload.compressed_bytes * 2.0)
+
+    # Tier-1 decoding: same decision count, same pool structure.
+    t1_tasks = [
+        t1_block_task(d, s, passes, machine, p, f"cb-{i}")
+        for i, (d, s, passes) in enumerate(workload.block_work)
+    ]
+    t1_cpus = n_cpus if parallel_t1 else 1
+    assignment = scheduler(t1_tasks, t1_cpus)
+    if t1_cpus > 1:
+        assignment = [list(cpu) for cpu in assignment]
+        assignment[0].append(
+            Task(name="pool dispatch", ops=p.pool_dispatch_ops * len(t1_tasks), tag="sync")
+        )
+        assignment = fork_join(assignment, "t1")
+    phases.append(("tier-1 coding", assignment))
+
+    quant_task = serial_stage_task(
+        "quantization", samples * p.quant_ops_per_sample * 0.7,
+        samples * workload.elem_size, machine,
+    )
+    phases.append(("quantization", [[quant_task]]))
+
+    # Inverse DWT: coarsest level first; the sweep geometry (and the
+    # cache pathology) matches the forward transform level for level.
+    idwt_cpus = n_cpus if parallel_idwt else 1
+    for level in range(workload.levels, 0, -1):
+        v_sweep = plan_vertical_filter(
+            workload.height, workload.width, level, bank, strategy, workload.elem_size
+        )
+        h_sweep = plan_horizontal_filter(
+            workload.height, workload.width, level, bank, strategy, workload.elem_size
+        )
+        h_task = dwt_sweep_task(h_sweep, bank, machine, p, f"IDWT horizontal L{level}")
+        v_task = dwt_sweep_task(v_sweep, bank, machine, p, f"IDWT vertical L{level}")
+        phases.append(
+            (f"IDWT horizontal L{level}", fork_join(split_sweep(h_task, idwt_cpus), "idwt-h"))
+        )
+        phases.append(
+            (f"IDWT vertical L{level}", fork_join(split_sweep(v_task, idwt_cpus), "idwt-v"))
+        )
+
+    serial("image I/O", samples * p.io_ops_per_sample, samples * 1.0)
+
+    run = smp.run(phases)
+    return StageBreakdown(
+        machine=machine,
+        n_cpus=n_cpus,
+        strategy=strategy,
+        stage_ms=run.stage_ms(),
+        run=run,
+    )

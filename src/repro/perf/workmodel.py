@@ -1,0 +1,212 @@
+"""Work accounting: pipeline stages -> operation and miss counts.
+
+:class:`WorkParams` holds the per-stage operation constants -- the only
+calibrated quantities in the whole performance model.  They are fitted
+once against the serial profile of the paper's Fig. 3 (see
+``repro.perf.calibrate``) and express "how many scalar operations does
+the 2002 reference C/Java code spend per unit of algorithmic work"; the
+cache-miss counts are *not* free parameters, they come from
+:mod:`repro.cachesim.analytic` applied to the machine's cache geometry.
+
+:class:`Workload` is the machine-independent description of one encoding
+job: image geometry plus the measured tier-1 decision counts and byte
+counts of a real encode (or their extrapolation to paper-scale images).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..cachesim.analytic import analytic_sweep_misses
+from ..smp.machine import MachineSpec
+from ..smp.task import Task
+from ..wavelet.filters import FilterBank, get_filter
+from ..wavelet.strategies import (
+    Sweep,
+    VerticalStrategy,
+    plan_horizontal_filter,
+    plan_vertical_filter,
+)
+
+__all__ = ["WorkParams", "Workload", "DEFAULT_WORK_PARAMS", "dwt_sweep_task", "split_sweep"]
+
+
+@dataclass(frozen=True)
+class WorkParams:
+    """Per-stage operation constants of the modelled reference codec.
+
+    All counts are scalar operations per unit of work; multiplied by the
+    machine's ``cycles_per_op`` they give compute cycles.  Values reflect
+    the scalar, bounds-checked 2002 reference implementations (JJ2000 is
+    Java; Jasper C is ~20% faster per the paper -- expressed via
+    ``codec_factor``).
+    """
+
+    #: Filtering arithmetic per sample per direction (all lifting passes).
+    dwt_ops_per_sample: float = 30.0
+    #: Tier-1 work per MQ decision (context formation + state updates).
+    t1_ops_per_decision: float = 33.0
+    #: Tier-1 per-sample overhead per bit-plane pass (state scans).
+    t1_ops_per_sample: float = 0.5
+    #: Dead-zone quantization per coefficient.
+    quant_ops_per_sample: float = 60.0
+    #: Image intake (read + level shift) per pixel.
+    io_ops_per_sample: float = 15.0
+    #: Pipeline setup (buffer allocation etc.) per pixel.
+    setup_ops_per_sample: float = 11.0
+    #: Inter-component handling per pixel (buffer marshalling even for
+    #: grayscale, per the nonzero stage in Fig. 3).
+    inter_ops_per_sample: float = 13.0
+    #: PCRD rate allocation per coding pass.
+    rd_ops_per_pass: float = 1800.0
+    #: Tier-2 packetization per output byte.
+    t2_ops_per_byte: float = 11.0
+    #: Bitstream assembly + write per output byte.
+    bitstream_ops_per_byte: float = 17.0
+    #: Thread fork/join + barrier cost of one parallel phase (serialized
+    #: operations; 2002 JVM / OpenMP runtime overhead).
+    fork_join_ops: float = 6e6
+    #: Work-queue dispatch cost per code-block (serialized on the pool's
+    #: shared queue).
+    pool_dispatch_ops: float = 120e3
+    #: Relative speed of the modelled codec (1.0 = JJ2000; Jasper ~0.8).
+    codec_factor: float = 1.0
+
+    def scaled(self, factor: float) -> "WorkParams":
+        """All compute constants multiplied by ``factor`` (codec variant)."""
+        return replace(
+            self,
+            dwt_ops_per_sample=self.dwt_ops_per_sample * factor,
+            t1_ops_per_decision=self.t1_ops_per_decision * factor,
+            t1_ops_per_sample=self.t1_ops_per_sample * factor,
+            quant_ops_per_sample=self.quant_ops_per_sample * factor,
+            io_ops_per_sample=self.io_ops_per_sample * factor,
+            setup_ops_per_sample=self.setup_ops_per_sample * factor,
+            inter_ops_per_sample=self.inter_ops_per_sample * factor,
+            rd_ops_per_pass=self.rd_ops_per_pass * factor,
+            t2_ops_per_byte=self.t2_ops_per_byte * factor,
+            bitstream_ops_per_byte=self.bitstream_ops_per_byte * factor,
+        )
+
+
+DEFAULT_WORK_PARAMS = WorkParams()
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Machine-independent description of one encoding job.
+
+    Attributes
+    ----------
+    height, width, levels, filter_name:
+        Transform geometry.
+    block_work:
+        Per code-block ``(decisions, samples, passes)`` tuples in
+        raster/band order (the tier-1 scheduling unit).
+    compressed_bytes:
+        Output codestream size (drives tier-2 / bitstream stages).
+    elem_size:
+        Bytes per transform sample in the modelled codec (4: float32).
+    """
+
+    height: int
+    width: int
+    levels: int
+    filter_name: str
+    block_work: Tuple[Tuple[int, int, int], ...]
+    compressed_bytes: int
+    elem_size: int = 4
+
+    @property
+    def samples(self) -> int:
+        return self.height * self.width
+
+    @property
+    def total_decisions(self) -> int:
+        return sum(d for d, _, _ in self.block_work)
+
+    @property
+    def total_passes(self) -> int:
+        return sum(p for _, _, p in self.block_work)
+
+
+def _lifting_passes(bank: FilterBank) -> int:
+    return len(bank.lifting_steps)
+
+
+def dwt_sweep_task(
+    sweep: Sweep,
+    bank: FilterBank,
+    machine: MachineSpec,
+    params: WorkParams,
+    name: str,
+) -> Task:
+    """Cost of one full filtering sweep on one CPU (no partitioning)."""
+    n_passes = 1 if sweep.aggregation > 1 else _lifting_passes(bank)
+    l1 = analytic_sweep_misses(sweep, machine.l1, n_passes, taps=bank.max_length)
+    l2 = analytic_sweep_misses(sweep, machine.l2, n_passes, taps=bank.max_length)
+    ops = sweep.samples * params.dwt_ops_per_sample
+    return Task(
+        name=name,
+        ops=ops,
+        l1_misses=float(l1.misses),
+        l2_misses=float(min(l2.misses, l1.misses)),
+        tag="dwt",
+    )
+
+
+def split_sweep(task: Task, n_cpus: int) -> List[List[Task]]:
+    """Static partition of a sweep's lines across CPUs.
+
+    The paper: "different parts of the data are assigned to different
+    threads, the deterministic workload allows a static load
+    allocation."  Ops and misses split evenly (lines are independent and
+    homogeneous).
+    """
+    share = 1.0 / n_cpus
+    return [[task.scaled(share)] for _ in range(n_cpus)]
+
+
+def serial_stage_task(
+    name: str,
+    ops: float,
+    bytes_touched: float,
+    machine: MachineSpec,
+) -> Task:
+    """A sequential streaming stage: compute plus cold-miss traffic."""
+    lines = bytes_touched / machine.l1.line_size
+    l2_lines = bytes_touched / machine.l2.line_size
+    return Task(
+        name=name,
+        ops=ops,
+        l1_misses=lines,
+        l2_misses=l2_lines,
+        tag=name,
+    )
+
+
+def t1_block_task(
+    decisions: int,
+    samples: int,
+    passes: int,
+    machine: MachineSpec,
+    params: WorkParams,
+    name: str,
+) -> Task:
+    """Cost of coding one code-block.
+
+    Compute scales with MQ decisions plus a per-sample-per-pass scan
+    term; memory traffic is the block's coefficient and state arrays
+    streamed once per pass (blocks are cache-friendly by design -- 64x64
+    x 4 B = 16 KiB).
+    """
+    ops = decisions * params.t1_ops_per_decision + samples * passes * params.t1_ops_per_sample
+    bytes_touched = samples * 4.0 * max(1, passes) * 0.5
+    return Task(
+        name=name,
+        ops=ops,
+        l1_misses=bytes_touched / machine.l1.line_size,
+        l2_misses=samples * 4.0 / machine.l2.line_size,
+        tag="t1",
+    )

@@ -1,0 +1,24 @@
+"""Rate-distortion optimal truncation (the "R/D allocation" stage).
+
+JPEG2000's post-compression rate-distortion optimization (PCRD-opt,
+Taubman): every code-block's embedded stream offers truncation points at
+pass boundaries; the allocator picks, per block, the truncation that
+minimizes total distortion subject to a global byte budget.  The paper
+counts this stage as intrinsically sequential but cheap (Fig. 3).
+"""
+
+from .pcrd import (
+    BlockRateInfo,
+    convex_hull_points,
+    allocate_truncation,
+    allocate_layers,
+    lambda_for_budget,
+)
+
+__all__ = [
+    "BlockRateInfo",
+    "convex_hull_points",
+    "allocate_truncation",
+    "allocate_layers",
+    "lambda_for_budget",
+]

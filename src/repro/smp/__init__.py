@@ -1,0 +1,57 @@
+"""Deterministic simulated shared-memory multiprocessor (SMP).
+
+The paper measures wall-clock on two real machines: a 4-way Intel Pentium
+II Xeon 500 MHz Compaq server and a 20-way SGI Power Challenge (IP25,
+194 MHz).  This package replaces them with a deterministic performance
+model -- the substitution DESIGN.md documents for running the experiments
+inside a single-core Python environment:
+
+- :class:`MachineSpec` captures a platform: clock, cycles-per-operation,
+  a two-level cache hierarchy (:class:`~repro.cachesim.CacheConfig`), the
+  per-level miss penalties, and a :class:`~repro.cachesim.SharedBus`.
+  Presets :data:`INTEL_SMP` and :data:`SGI_POWER_CHALLENGE` are calibrated
+  against the paper's serial profiles (Fig. 3).
+- :class:`Task` is a unit of work (operation count + per-level miss
+  counts) produced by :mod:`repro.perf.workmodel`.
+- :class:`SimulatedSMP` executes barrier-synchronized phases of tasks on
+  ``P`` simulated processors: a phase takes the max of the slowest CPU's
+  compute+stall time and the shared-bus transfer floor, which is the
+  mechanism behind the saturating speedups of Figs. 8 and 13.
+- :mod:`repro.smp.pool` implements the paper's schedulers: static block
+  partitioning for the DWT and the staggered round-robin worker pool for
+  code-blocks, plus alternatives used by the ablation benchmarks.
+
+Everything is deterministic: the same inputs produce the same simulated
+timings on every run, which keeps all experiments reproducible.
+"""
+
+from .machine import MachineSpec, INTEL_SMP, SGI_POWER_CHALLENGE, get_machine
+from .task import Task
+from .executor import SimulatedSMP, PhaseResult, RunResult
+from .pool import (
+    static_block_partition,
+    round_robin,
+    staggered_round_robin,
+    longest_processing_time,
+    list_schedule,
+    schedule_makespan,
+    load_imbalance,
+)
+
+__all__ = [
+    "MachineSpec",
+    "INTEL_SMP",
+    "SGI_POWER_CHALLENGE",
+    "get_machine",
+    "Task",
+    "SimulatedSMP",
+    "PhaseResult",
+    "RunResult",
+    "static_block_partition",
+    "round_robin",
+    "staggered_round_robin",
+    "longest_processing_time",
+    "list_schedule",
+    "schedule_makespan",
+    "load_imbalance",
+]

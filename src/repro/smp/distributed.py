@@ -1,0 +1,212 @@
+"""Distributed-memory (multicomputer) cost model, for the SMP contrast.
+
+Section 3 of the paper motivates shared-memory machines over
+multicomputers for image coding "due to the high memory requirements of
+these applications".  This module quantifies that remark: the same
+parallel decomposition (row-slab DWT + code-block tier-1) costed on a
+message-passing cluster, where the data movement the SMP gets implicitly
+through its shared memory becomes explicit messages:
+
+- **initial scatter** of the image slabs to the nodes;
+- per decomposition level, a **halo exchange** of ``filter_length/2``
+  boundary rows between slab neighbours before vertical filtering, and a
+  **redistribution** of the halved subband when slabs go from row-major
+  (vertical pass) to column-major (horizontal pass) work -- modelled as
+  a transpose-style all-to-all over the level's data;
+- a **gather** of the compressed code-block bitstreams.
+
+Messages are costed with the classic latency+bandwidth model
+``t(m) = alpha + m / beta``.  The cluster preset uses 2002-era Fast
+Ethernet numbers; the experiment (``ext_message_passing``) shows where
+the SMP's shared memory wins and where a cluster catches up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..perf.workmodel import (
+    DEFAULT_WORK_PARAMS,
+    WorkParams,
+    Workload,
+    dwt_sweep_task,
+    serial_stage_task,
+    t1_block_task,
+)
+from ..wavelet.filters import get_filter
+from ..wavelet.strategies import (
+    VerticalStrategy,
+    plan_horizontal_filter,
+    plan_vertical_filter,
+)
+from .machine import MachineSpec
+
+__all__ = ["InterconnectSpec", "FAST_ETHERNET", "MYRINET_2000", "simulate_cluster_encode", "ClusterBreakdown"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Latency + bandwidth message cost model.
+
+    Attributes
+    ----------
+    name:
+        Identifier for reports.
+    latency_s:
+        Per-message startup latency (alpha) in seconds.
+    bandwidth_bytes_per_s:
+        Sustained point-to-point bandwidth (beta).
+    full_duplex_pairs:
+        Distinct node pairs that can transfer simultaneously (switch
+        capacity); an all-to-all of P messages takes
+        ``ceil(P / pairs)`` serialized rounds.
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bytes_per_s: float
+    full_duplex_pairs: int = 1
+
+    def message_s(self, n_bytes: float) -> float:
+        """Time for one point-to-point message."""
+        return self.latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+    def exchange_s(self, n_messages: int, bytes_each: float) -> float:
+        """Time for ``n_messages`` concurrent pairwise messages."""
+        rounds = math.ceil(n_messages / max(1, self.full_duplex_pairs))
+        return rounds * self.message_s(bytes_each)
+
+
+#: 100 Mbit/s switched Fast Ethernet, ~70 us MPI latency (2002 clusters).
+FAST_ETHERNET = InterconnectSpec(
+    name="fast_ethernet",
+    latency_s=70e-6,
+    bandwidth_bytes_per_s=11e6,
+    full_duplex_pairs=8,
+)
+
+#: Myrinet-2000: ~9 us latency, ~230 MB/s (a high-end 2002 cluster).
+MYRINET_2000 = InterconnectSpec(
+    name="myrinet_2000",
+    latency_s=9e-6,
+    bandwidth_bytes_per_s=230e6,
+    full_duplex_pairs=16,
+)
+
+
+@dataclass
+class ClusterBreakdown:
+    """Compute vs communication split of a cluster encode."""
+
+    n_nodes: int
+    interconnect: InterconnectSpec
+    compute_ms: float
+    scatter_ms: float
+    halo_ms: float
+    redistribution_ms: float
+    gather_ms: float
+    sequential_ms: float
+
+    @property
+    def comm_ms(self) -> float:
+        return self.scatter_ms + self.halo_ms + self.redistribution_ms + self.gather_ms
+
+    @property
+    def total_ms(self) -> float:
+        return self.compute_ms + self.comm_ms + self.sequential_ms
+
+
+def simulate_cluster_encode(
+    workload: Workload,
+    machine: MachineSpec,
+    interconnect: InterconnectSpec,
+    n_nodes: int,
+    params: WorkParams = DEFAULT_WORK_PARAMS,
+) -> ClusterBreakdown:
+    """Cost the paper's decomposition on a message-passing cluster.
+
+    Nodes have the same core as ``machine`` (so compute times match the
+    SMP's aggregated-filtering path -- each node works on its private,
+    cache-friendly slab) but every data redistribution is an explicit
+    message.  The sequential stages run on the root node.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    bank = get_filter(workload.filter_name)
+    p = params
+    samples = workload.samples
+    elem = workload.elem_size
+
+    # Compute: the SAME tasks the SMP model runs (aggregated filtering --
+    # each node works on a private, cache-friendly slab) including their
+    # cache-miss stalls; the difference is purely that the work divides
+    # across private memories with no shared-bus floor.
+    compute_cycles = 0.0
+    halo_s = 0.0
+    redis_s = 0.0
+    half = bank.max_length // 2
+    for level in range(1, workload.levels + 1):
+        v = plan_vertical_filter(
+            workload.height, workload.width, level, bank,
+            VerticalStrategy.AGGREGATED, elem,
+        )
+        h = plan_horizontal_filter(
+            workload.height, workload.width, level, bank,
+            VerticalStrategy.AGGREGATED, elem,
+        )
+        compute_cycles += dwt_sweep_task(v, bank, machine, p, "v").cycles(machine)
+        compute_cycles += dwt_sweep_task(h, bank, machine, p, "h").cycles(machine)
+        if n_nodes > 1:
+            sub_h = v.n_along
+            sub_w = v.n_lines
+            # Halo exchange before vertical filtering: each interior slab
+            # boundary moves `half` rows each way.
+            halo_bytes = half * sub_w * elem
+            halo_s += 2 * interconnect.exchange_s(n_nodes - 1, halo_bytes)
+            # Vertical->horizontal repartition: transpose-style all-to-all
+            # of the level's coefficients.
+            redis_bytes = sub_h * sub_w * elem / max(1, n_nodes)
+            redis_s += interconnect.exchange_s(
+                n_nodes * (n_nodes - 1), redis_bytes / max(1, n_nodes - 1)
+            )
+    for i, (d, sm, passes) in enumerate(workload.block_work):
+        compute_cycles += t1_block_task(d, sm, passes, machine, p, f"cb{i}").cycles(machine)
+    compute_cycles += serial_stage_task(
+        "quant", samples * p.quant_ops_per_sample, samples * elem, machine
+    ).cycles(machine)
+    compute_ms = machine.cycles_to_ms(compute_cycles / n_nodes)
+
+    scatter_s = (
+        interconnect.exchange_s(n_nodes - 1, samples * 1.0 / max(1, n_nodes))
+        if n_nodes > 1
+        else 0.0
+    )
+    gather_s = (
+        interconnect.exchange_s(n_nodes - 1, workload.compressed_bytes / max(1, n_nodes))
+        if n_nodes > 1
+        else 0.0
+    )
+
+    # Sequential stages on the root node, identical to the SMP's.
+    seq_cycles = (
+        serial_stage_task("io", samples * p.io_ops_per_sample, samples * 1.0, machine).cycles(machine)
+        + serial_stage_task("setup", samples * p.setup_ops_per_sample, samples * elem, machine).cycles(machine)
+        + serial_stage_task("inter", samples * p.inter_ops_per_sample, samples * elem, machine).cycles(machine)
+        + serial_stage_task("rd", workload.total_passes * p.rd_ops_per_pass, workload.total_passes * 16.0, machine).cycles(machine)
+        + serial_stage_task("t2", workload.compressed_bytes * p.t2_ops_per_byte, workload.compressed_bytes * 2.0, machine).cycles(machine)
+        + serial_stage_task("bits", workload.compressed_bytes * p.bitstream_ops_per_byte, workload.compressed_bytes * 2.0, machine).cycles(machine)
+    )
+    sequential_ms = machine.cycles_to_ms(seq_cycles)
+
+    return ClusterBreakdown(
+        n_nodes=n_nodes,
+        interconnect=interconnect,
+        compute_ms=compute_ms,
+        scatter_ms=scatter_s * 1e3,
+        halo_ms=halo_s * 1e3,
+        redistribution_ms=redis_s * 1e3,
+        gather_ms=gather_s * 1e3,
+        sequential_ms=sequential_ms,
+    )

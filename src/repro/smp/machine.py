@@ -1,0 +1,123 @@
+"""Machine specifications for the paper's two experimental platforms.
+
+The constants are calibrated so the *serial* stage profile of the codec
+matches the shape and rough magnitudes of the paper's Fig. 3 (Pentium II
+Xeon 500 MHz) -- see ``repro.perf.calibrate`` for the procedure.  Nothing
+is tuned per-figure: once the serial profile matches, every parallel
+result (Figs. 6-13) follows from the model's structure.
+
+Cache geometry notes
+--------------------
+The paper's pathology statement -- "the filter length is longer than 4
+(this corresponds to the 4-way associative cache)" and "an entire image
+column is mapped onto a single cache-set" -- identifies a small 4-way
+cache whose set count divides the row stride.  For the Pentium II Xeon we
+model a 16 KiB 4-way L1 (128 sets: a 16 Kbyte row stride maps any column
+into a single set) backed by a 512 KiB 4-way L2 (4096 sets: the column
+collapses into 8 sets, far too few to retain it).  Both levels matter:
+the column-at-a-time lifting pays L1 *and* L2 refetches, the padded-width
+fix repairs only the L2 reuse, and the aggregated-columns fix streams
+every line exactly once -- reproducing the paper's ordering of the three
+strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cachesim.bus import SharedBus
+from ..cachesim.cache import CacheConfig
+
+__all__ = ["MachineSpec", "INTEL_SMP", "SGI_POWER_CHALLENGE", "get_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A shared-memory multiprocessor performance model.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by experiments and reports.
+    max_cpus:
+        Processor count of the modelled machine.
+    clock_mhz:
+        CPU clock; converts cycles to the milliseconds in the figures.
+    cycles_per_op:
+        Average cycles per arithmetic operation of the scalar codec code
+        (2002-era in-order-ish cores plus load/store overhead).
+    l1, l2:
+        Cache geometries (single shared hierarchy model per CPU).
+    l1_miss_penalty:
+        Cycles to fill from L2 on an L1 miss.
+    l2_miss_penalty:
+        Cycles to fill from memory on an L2 miss (uncontended).
+    bus:
+        Shared front-side bus; the floor on parallel phase times.
+    """
+
+    name: str
+    max_cpus: int
+    clock_mhz: float
+    cycles_per_op: float
+    l1: CacheConfig
+    l2: CacheConfig
+    l1_miss_penalty: float
+    l2_miss_penalty: float
+    bus: SharedBus
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert simulated cycles to milliseconds on this machine."""
+        return cycles / (self.clock_mhz * 1e3)
+
+    def ms_to_cycles(self, ms: float) -> float:
+        """Convert milliseconds to simulated cycles on this machine."""
+        return ms * self.clock_mhz * 1e3
+
+
+#: 4-way Compaq server, Intel Pentium II Xeon 500 MHz (Sec. 3.2/3.3).
+INTEL_SMP = MachineSpec(
+    name="intel_smp",
+    max_cpus=4,
+    clock_mhz=500.0,
+    cycles_per_op=2.0,
+    l1=CacheConfig(size_bytes=16 * 1024, line_size=32, associativity=4),
+    l2=CacheConfig(size_bytes=512 * 1024, line_size=32, associativity=4),
+    l1_miss_penalty=8.0,
+    # ~280 ns SDRAM round trip at 500 MHz.
+    l2_miss_penalty=140.0,
+    # Latency-bound line fills: one outstanding 32-byte miss per ~90 cycles
+    # of shared front-side bus occupancy (~175 MB/s effective).
+    bus=SharedBus(bytes_per_cycle=0.35, line_size=32),
+)
+
+#: 20-way SGI Power Challenge, MIPS R10000 (IP25) 194 MHz (Sec. 3.3).
+#: Slower clock ("very poor computation times when compared with the fast
+#: Intel processors") but a wide system bus that feeds more CPUs before
+#: saturating, and larger off-chip caches.
+SGI_POWER_CHALLENGE = MachineSpec(
+    name="sgi_power_challenge",
+    max_cpus=20,
+    clock_mhz=194.0,
+    cycles_per_op=2.5,
+    l1=CacheConfig(size_bytes=32 * 1024, line_size=32, associativity=2),
+    l2=CacheConfig(size_bytes=1024 * 1024, line_size=128, associativity=2),
+    l1_miss_penalty=12.0,
+    # The Power Challenge's notoriously long (~1.5 us) memory latency.
+    l2_miss_penalty=300.0,
+    # POWERpath-2 split-transaction bus: ~195 MB/s of effective random
+    # line-fill bandwidth shared by up to 20 CPUs.
+    bus=SharedBus(bytes_per_cycle=1.0, line_size=128),
+)
+
+_MACHINES = {m.name: m for m in (INTEL_SMP, SGI_POWER_CHALLENGE)}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine preset by name."""
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; options: {sorted(_MACHINES)}"
+        ) from None

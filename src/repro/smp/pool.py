@@ -1,0 +1,141 @@
+"""Task-to-CPU scheduling policies.
+
+Two of these are the paper's:
+
+- :func:`static_block_partition` -- "the deterministic workload allows a
+  static load allocation" for the wavelet transform: contiguous slabs of
+  columns/rows per CPU.
+- :func:`staggered_round_robin` -- "a pool of worker threads and a
+  staggered round robin assignment of the code-blocks to these threads"
+  for tier-1: code-blocks are dealt in serpentine order so spatially
+  adjacent (similarly expensive) blocks spread across CPUs in both
+  directions, cancelling systematic cost gradients across the image.
+
+The rest (:func:`round_robin`, :func:`longest_processing_time`,
+:func:`list_schedule`) are the comparison points for the scheduling
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = [
+    "static_block_partition",
+    "round_robin",
+    "staggered_round_robin",
+    "longest_processing_time",
+    "list_schedule",
+    "schedule_makespan",
+    "load_imbalance",
+]
+
+T = TypeVar("T")
+Weight = Callable[[T], float]
+
+
+def _check_cpus(n_cpus: int) -> None:
+    if n_cpus < 1:
+        raise ValueError("need at least one CPU")
+
+
+def static_block_partition(items: Sequence[T], n_cpus: int) -> List[List[T]]:
+    """Contiguous near-equal blocks, one per CPU (paper's DWT allocation).
+
+    ``len(items)`` need not divide ``n_cpus``; leftover items go to the
+    leading CPUs, keeping block sizes within one of each other.
+    """
+    _check_cpus(n_cpus)
+    n = len(items)
+    base, extra = divmod(n, n_cpus)
+    out: List[List[T]] = []
+    start = 0
+    for cpu in range(n_cpus):
+        size = base + (1 if cpu < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def round_robin(items: Sequence[T], n_cpus: int) -> List[List[T]]:
+    """Plain round robin: item ``i`` goes to CPU ``i mod P``."""
+    _check_cpus(n_cpus)
+    out: List[List[T]] = [[] for _ in range(n_cpus)]
+    for i, item in enumerate(items):
+        out[i % n_cpus].append(item)
+    return out
+
+
+def staggered_round_robin(items: Sequence[T], n_cpus: int) -> List[List[T]]:
+    """Serpentine (boustrophedon) round robin -- the paper's scheduler.
+
+    Rounds alternate direction: round 0 deals to CPUs ``0,1,...,P-1``,
+    round 1 to ``P-1,...,1,0``, and so on.  Any monotone cost gradient
+    along the item order (code-blocks of one subband scanned in raster
+    order get steadily cheaper/dearer) is balanced to first order.
+    """
+    _check_cpus(n_cpus)
+    out: List[List[T]] = [[] for _ in range(n_cpus)]
+    for i, item in enumerate(items):
+        round_idx, pos = divmod(i, n_cpus)
+        cpu = pos if round_idx % 2 == 0 else n_cpus - 1 - pos
+        out[cpu].append(item)
+    return out
+
+
+def longest_processing_time(
+    items: Sequence[T], n_cpus: int, weight: Weight
+) -> List[List[T]]:
+    """Classic LPT: sort by decreasing weight, greedily assign to the
+    least-loaded CPU.  Needs the weights up front (an oracle the real
+    codec does not have before coding), so it serves as the ablation's
+    near-optimal reference."""
+    _check_cpus(n_cpus)
+    order = sorted(range(len(items)), key=lambda i: -weight(items[i]))
+    heap = [(0.0, cpu) for cpu in range(n_cpus)]
+    heapq.heapify(heap)
+    out: List[List[T]] = [[] for _ in range(n_cpus)]
+    for i in order:
+        load, cpu = heapq.heappop(heap)
+        out[cpu].append(items[i])
+        heapq.heappush(heap, (load + weight(items[i]), cpu))
+    return out
+
+
+def list_schedule(items: Sequence[T], n_cpus: int, weight: Weight) -> List[List[T]]:
+    """Dynamic work queue: items taken in order by whichever CPU is free.
+
+    This is the deterministic equivalent of a self-scheduling worker pool
+    (each worker pops the next item when it finishes its current one).
+    """
+    _check_cpus(n_cpus)
+    heap = [(0.0, cpu) for cpu in range(n_cpus)]
+    heapq.heapify(heap)
+    out: List[List[T]] = [[] for _ in range(n_cpus)]
+    for item in items:
+        load, cpu = heapq.heappop(heap)
+        out[cpu].append(item)
+        heapq.heappush(heap, (load + weight(item), cpu))
+    return out
+
+
+def schedule_makespan(assignment: Sequence[Sequence[T]], weight: Weight) -> float:
+    """Completion time of the slowest CPU."""
+    if not assignment:
+        return 0.0
+    return max(sum(weight(t) for t in cpu_items) for cpu_items in assignment)
+
+
+def load_imbalance(assignment: Sequence[Sequence[T]], weight: Weight) -> float:
+    """Makespan divided by the perfectly balanced load (>= 1.0).
+
+    1.0 means perfect balance; the paper's staggered round robin keeps
+    this near 1 for raster-ordered code-blocks.
+    """
+    loads = [sum(weight(t) for t in cpu_items) for cpu_items in assignment]
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    ideal = total / len(loads)
+    return max(loads) / ideal

@@ -1,0 +1,54 @@
+"""Work units executed by the simulated SMP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    A task is pure cost: ``ops`` arithmetic operations plus per-level
+    cache miss counts, produced by :mod:`repro.perf.workmodel` from real
+    codec statistics and the analytic cache model.  Tasks carry no code --
+    the numerical work has already been done by the real codec; the task
+    records what that work *costs* on the modelled machine.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (e.g. ``"dwt-l2-vert-cpu0"``, ``"cb-17"``).
+    ops:
+        Arithmetic operation count.
+    l1_misses, l2_misses:
+        Predicted cache misses attributed to this task.
+    tag:
+        Free-form grouping key (stage name) used by reports.
+    """
+
+    name: str
+    ops: float
+    l1_misses: float = 0.0
+    l2_misses: float = 0.0
+    tag: str = ""
+
+    def cycles(self, machine) -> float:
+        """Uncontended execution cycles on ``machine``."""
+        return (
+            self.ops * machine.cycles_per_op
+            + self.l1_misses * machine.l1_miss_penalty
+            + self.l2_misses * machine.l2_miss_penalty
+        )
+
+    def scaled(self, factor: float) -> "Task":
+        """A copy with all costs multiplied by ``factor``."""
+        return Task(
+            name=self.name,
+            ops=self.ops * factor,
+            l1_misses=self.l1_misses * factor,
+            l2_misses=self.l2_misses * factor,
+            tag=self.tag,
+        )

@@ -1,0 +1,42 @@
+"""Tier-2: packet headers, tag trees and codestream assembly.
+
+Tier-2 organizes the truncated code-block streams selected by the rate
+allocator into quality-layer packets and writes the final codestream --
+the "bitstream I/O" and "tier-2 coding" stages of the paper's Fig. 3,
+which it classes as intrinsically sequential (they are cheap and touch
+the single output stream).
+
+The packet header machinery is the standard's: tag trees signal
+code-block inclusion and zero-bit-plane counts hierarchically, pass
+counts use the comma code of Table B.4, and segment lengths use the
+adaptive ``Lblock`` code.  The container framing (markers) is a compact
+binary format of the same structure as JPEG2000's (SOC/SIZ/COD/SOT/SOD/
+EOC), self-consistent between this encoder and decoder; byte-level
+interchange with other codecs is out of scope for the reproduction.
+"""
+
+from .bitio import BitReader, BitWriter
+from .tagtree import TagTree, TagTreeDecoder
+from .packet import PacketWriter, PacketReader, BlockContribution
+from .codestream import (
+    CodestreamParams,
+    write_codestream,
+    read_codestream,
+    Codestream,
+    TilePart,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "TagTree",
+    "TagTreeDecoder",
+    "PacketWriter",
+    "PacketReader",
+    "BlockContribution",
+    "CodestreamParams",
+    "write_codestream",
+    "read_codestream",
+    "Codestream",
+    "TilePart",
+]

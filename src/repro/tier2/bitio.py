@@ -1,0 +1,92 @@
+"""MSB-first bit-level I/O used by packet headers."""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit (0/1)."""
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._bytes.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value``, MSB first."""
+        value = int(value)
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if value < 0 or (count < value.bit_length()):
+            raise ValueError(f"{value} does not fit in {count} bits")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_comma(self, value: int) -> None:
+        """Unary "comma" code: ``value`` ones then a zero."""
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        while self._nbits:
+            self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """The bytes written so far (aligns first)."""
+        self.align()
+        return bytes(self._bytes)
+
+    def bit_length(self) -> int:
+        """Bits written so far (excluding alignment padding)."""
+        return len(self._bytes) * 8 + self._nbits
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read_bit(self) -> int:
+        byte_idx, bit_idx = divmod(self._pos, 8)
+        if byte_idx >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_idx] >> (7 - bit_idx)) & 1
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits MSB-first."""
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_comma(self) -> int:
+        """Read a unary comma code (count of ones before the zero)."""
+        value = 0
+        while self.read_bit():
+            value += 1
+        return value
+
+    def align(self) -> None:
+        """Skip to the next byte boundary."""
+        self._pos = (self._pos + 7) // 8 * 8
+
+    def tell_bytes(self) -> int:
+        """Byte position (after :meth:`align`, exact)."""
+        return (self._pos + 7) // 8

@@ -1,0 +1,172 @@
+"""Codestream container: marker-framed parameters, tiles and packets.
+
+Structurally mirrors a JPEG2000 part-1 codestream -- a main header
+(SOC+SIZ+COD+QCD equivalents), one tile-part per tile (SOT+SOD
+equivalents) whose body is the packet sequence in layer-resolution
+progression (LRCP), and an end marker -- using a compact binary encoding.
+Self-consistent between :func:`write_codestream` and
+:func:`read_codestream`; byte-level interchange with other JPEG2000
+codecs is out of scope (DESIGN.md documents the substitution).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["CodestreamParams", "TilePart", "Codestream", "write_codestream", "read_codestream"]
+
+_MAGIC = b"RJ2K"
+_VERSION = 1
+_SOT = 0x90
+_EOC = 0xD9
+
+_FILTER_CODES = {"9/7": 0, "5/3": 1}
+_FILTER_NAMES = {v: k for k, v in _FILTER_CODES.items()}
+
+
+@dataclass(frozen=True)
+class CodestreamParams:
+    """Everything a decoder needs before reading packets."""
+
+    height: int
+    width: int
+    bit_depth: int
+    levels: int
+    filter_name: str
+    cb_size: int
+    n_layers: int
+    tile_size: int  # 0 = untiled (single tile covering the image)
+    base_step: float
+    n_components: int = 1
+    roi_shift: int = 0
+
+    @property
+    def n_tile_parts(self) -> int:
+        """Tile-parts in the stream: one per (tile, component)."""
+        return self.n_tiles * self.n_components
+
+    def tile_grid(self) -> Tuple[int, int]:
+        """(rows, cols) of the tile grid."""
+        if self.tile_size <= 0:
+            return (1, 1)
+        th = -(-self.height // self.tile_size)
+        tw = -(-self.width // self.tile_size)
+        return th, tw
+
+    @property
+    def n_tiles(self) -> int:
+        th, tw = self.tile_grid()
+        return th * tw
+
+
+@dataclass
+class TilePart:
+    """One tile's packet payload (already LRCP-ordered)."""
+
+    index: int
+    packets: bytes
+
+
+@dataclass
+class Codestream:
+    """Parsed codestream: parameters plus per-tile packet payloads."""
+
+    params: CodestreamParams
+    tiles: List[TilePart] = field(default_factory=list)
+
+
+def write_codestream(params: CodestreamParams, tiles: Sequence[TilePart]) -> bytes:
+    """Serialize parameters and tile-parts into one byte string.
+
+    Multi-component streams carry one tile-part per (tile, component),
+    component-major within each tile.
+    """
+    if len(tiles) != params.n_tile_parts:
+        raise ValueError(
+            f"expected {params.n_tile_parts} tile-parts, got {len(tiles)}"
+        )
+    out = bytearray()
+    out += _MAGIC
+    out += struct.pack(
+        ">BIIBBBHBIdBB",
+        _VERSION,
+        params.height,
+        params.width,
+        params.bit_depth,
+        params.levels,
+        _FILTER_CODES[params.filter_name],
+        params.cb_size,
+        params.n_layers,
+        params.tile_size,
+        params.base_step,
+        params.n_components,
+        params.roi_shift,
+    )
+    for tile in tiles:
+        out += struct.pack(">BHI", _SOT, tile.index, len(tile.packets))
+        out += tile.packets
+    out += struct.pack(">B", _EOC)
+    return bytes(out)
+
+
+def read_codestream(data: bytes) -> Codestream:
+    """Parse a codestream written by :func:`write_codestream`."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a repro codestream (bad magic)")
+    pos = 4
+    fmt = ">BIIBBBHBIdBB"
+    size = struct.calcsize(fmt)
+    (
+        version,
+        height,
+        width,
+        bit_depth,
+        levels,
+        filter_code,
+        cb_size,
+        n_layers,
+        tile_size,
+        base_step,
+        n_components,
+        roi_shift,
+    ) = struct.unpack_from(fmt, data, pos)
+    pos += size
+    if version != _VERSION:
+        raise ValueError(f"unsupported codestream version {version}")
+    try:
+        filter_name = _FILTER_NAMES[filter_code]
+    except KeyError:
+        raise ValueError(f"unknown filter code {filter_code}") from None
+    params = CodestreamParams(
+        height=height,
+        width=width,
+        bit_depth=bit_depth,
+        levels=levels,
+        filter_name=filter_name,
+        cb_size=cb_size,
+        n_layers=n_layers,
+        tile_size=tile_size,
+        base_step=base_step,
+        n_components=n_components,
+        roi_shift=roi_shift,
+    )
+    stream = Codestream(params=params)
+    while True:
+        (marker,) = struct.unpack_from(">B", data, pos)
+        pos += 1
+        if marker == _EOC:
+            break
+        if marker != _SOT:
+            raise ValueError(f"unexpected marker 0x{marker:02X} at offset {pos - 1}")
+        index, length = struct.unpack_from(">HI", data, pos)
+        pos += struct.calcsize(">HI")
+        stream.tiles.append(TilePart(index=index, packets=data[pos : pos + length]))
+        pos += length
+    if len(stream.tiles) != params.n_tile_parts:
+        raise ValueError(
+            f"codestream has {len(stream.tiles)} tile-parts, "
+            f"header promised {params.n_tile_parts}"
+        )
+    return stream

@@ -1,0 +1,251 @@
+"""Packet header encoding/decoding (T.800 B.10).
+
+A packet carries, for one (resolution, quality-layer) pair, every
+code-block contribution of that resolution: which blocks are included,
+how many all-zero bit planes each newly included block has, how many new
+coding passes arrive, and the byte length of each contribution.  Headers
+use two tag trees per subband (inclusion and zero-planes), the pass-count
+comma code of Table B.4, and the adaptive ``Lblock`` length code.
+
+One precinct spans the whole subband (the codec's default), so block
+grids equal subband code-block grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .bitio import BitReader, BitWriter
+from .tagtree import TagTree, TagTreeDecoder
+
+__all__ = ["BlockContribution", "BandState", "PacketWriter", "PacketReader"]
+
+
+@dataclass
+class BlockContribution:
+    """One code-block's contribution to one layer (empty if not included)."""
+
+    n_new_passes: int = 0
+    data: bytes = b""
+
+    @property
+    def included(self) -> bool:
+        return self.n_new_passes > 0
+
+
+def _write_pass_count(w: BitWriter, n: int) -> None:
+    """Table B.4 pass-count code (1..164)."""
+    if n < 1 or n > 164:
+        raise ValueError(f"pass count {n} out of range 1..164")
+    if n == 1:
+        w.write_bit(0)
+    elif n == 2:
+        w.write_bits(0b10, 2)
+    elif n <= 5:
+        w.write_bits(0b11, 2)
+        w.write_bits(n - 3, 2)
+    elif n <= 36:
+        w.write_bits(0b11, 2)
+        w.write_bits(0b11, 2)
+        w.write_bits(n - 6, 5)
+    else:
+        w.write_bits(0b11, 2)
+        w.write_bits(0b11, 2)
+        w.write_bits(0b11111, 5)
+        w.write_bits(n - 37, 7)
+
+
+def _read_pass_count(r: BitReader) -> int:
+    """Inverse of :func:`_write_pass_count`."""
+    if r.read_bit() == 0:
+        return 1
+    if r.read_bit() == 0:
+        return 2
+    v = r.read_bits(2)
+    if v != 0b11:
+        return 3 + v
+    v = r.read_bits(5)
+    if v != 0b11111:
+        return 6 + v
+    return 37 + r.read_bits(7)
+
+
+class BandState:
+    """Per-subband tier-2 state shared across the layers of a run.
+
+    Encoder construction needs the full allocation (first inclusion layer
+    and zero-plane count per block) because tag trees code grid minima.
+    """
+
+    def __init__(self, grid_h: int, grid_w: int, first_layers: np.ndarray, zero_planes: np.ndarray) -> None:
+        if first_layers.shape != (grid_h, grid_w) or zero_planes.shape != (grid_h, grid_w):
+            raise ValueError("grid shape mismatch")
+        self.grid_h = grid_h
+        self.grid_w = grid_w
+        self.incl_tree = TagTree(first_layers)
+        self.zp_tree = TagTree(zero_planes)
+        self.first_layers = first_layers
+        self.included_before = np.zeros((grid_h, grid_w), dtype=bool)
+        self.lblock = np.full((grid_h, grid_w), 3, dtype=np.int64)
+
+
+class _BandDecState:
+    def __init__(self, grid_h: int, grid_w: int) -> None:
+        self.grid_h = grid_h
+        self.grid_w = grid_w
+        self.incl_tree = TagTreeDecoder(grid_h, grid_w)
+        self.zp_tree = TagTreeDecoder(grid_h, grid_w)
+        self.included_before = np.zeros((grid_h, grid_w), dtype=bool)
+        self.lblock = np.full((grid_h, grid_w), 3, dtype=np.int64)
+
+
+def _floor_log2(n: int) -> int:
+    return n.bit_length() - 1
+
+
+class PacketWriter:
+    """Writes the packets of one resolution across layers.
+
+    ``bands`` hold one :class:`BandState` per subband of the resolution
+    (1 for the LL resolution, 3 otherwise), in a fixed order both ends
+    agree on.
+    """
+
+    def __init__(self, bands: Sequence[BandState]) -> None:
+        self.bands = list(bands)
+
+    def write_packet(
+        self, layer: int, contributions: Sequence[Sequence[Sequence[BlockContribution]]]
+    ) -> bytes:
+        """Encode one packet; returns header + body bytes.
+
+        ``contributions[band][by][bx]`` is this layer's contribution of
+        block (by, bx) of subband ``band``.
+        """
+        w = BitWriter()
+        body = bytearray()
+        any_included = any(
+            c.included
+            for band in contributions
+            for row in band
+            for c in row
+        )
+        w.write_bit(1 if any_included else 0)
+        if any_included:
+            for state, band in zip(self.bands, contributions):
+                for by in range(state.grid_h):
+                    for bx in range(state.grid_w):
+                        contrib = band[by][bx]
+                        self._write_block(w, body, state, layer, by, bx, contrib)
+        w.align()
+        return w.getvalue() + bytes(body)
+
+    def _write_block(
+        self,
+        w: BitWriter,
+        body: bytearray,
+        state: BandState,
+        layer: int,
+        by: int,
+        bx: int,
+        contrib: BlockContribution,
+    ) -> None:
+        if not state.included_before[by, bx]:
+            # First-inclusion signalling via the inclusion tag tree.
+            state.incl_tree.encode_value(w, by, bx, layer + 1)
+            if not contrib.included:
+                return
+            # Newly included: communicate zero bit-planes exactly.
+            t = 1
+            while not state.zp_tree.known[0][by, bx]:
+                state.zp_tree.encode_value(w, by, bx, t)
+                t += 1
+            state.included_before[by, bx] = True
+        else:
+            w.write_bit(1 if contrib.included else 0)
+            if not contrib.included:
+                return
+        _write_pass_count(w, contrib.n_new_passes)
+        # Lblock length code: bump lblock until the length fits.
+        length = len(contrib.data)
+        bits = int(state.lblock[by, bx]) + _floor_log2(contrib.n_new_passes)
+        while length >= (1 << bits):
+            w.write_bit(1)
+            state.lblock[by, bx] += 1
+            bits += 1
+        w.write_bit(0)
+        w.write_bits(length, bits)
+        body.extend(contrib.data)
+
+
+class PacketReader:
+    """Mirror of :class:`PacketWriter`; reconstructs contributions."""
+
+    def __init__(self, band_grids: Sequence[tuple]) -> None:
+        self.bands = [_BandDecState(h, w) for (h, w) in band_grids]
+        #: zero-plane counts learned at first inclusion: {band: array}
+        self.zero_planes: List[np.ndarray] = [
+            np.full((h, w), -1, dtype=np.int64) for (h, w) in band_grids
+        ]
+
+    def read_packet(
+        self, data: bytes, layer: int
+    ) -> tuple:
+        """Decode one packet.
+
+        Returns ``(contributions, n_bytes_consumed)`` with the same
+        nesting as :meth:`PacketWriter.write_packet`.
+        """
+        r = BitReader(data)
+        out: List[List[List[BlockContribution]]] = []
+        if r.read_bit() == 0:
+            r.align()
+            for state in self.bands:
+                out.append(
+                    [
+                        [BlockContribution() for _ in range(state.grid_w)]
+                        for _ in range(state.grid_h)
+                    ]
+                )
+            return out, r.tell_bytes()
+        pending: List[tuple] = []  # (band_idx, by, bx, n_passes, length)
+        for b_idx, state in enumerate(self.bands):
+            band_out = [
+                [BlockContribution() for _ in range(state.grid_w)]
+                for _ in range(state.grid_h)
+            ]
+            out.append(band_out)
+            for by in range(state.grid_h):
+                for bx in range(state.grid_w):
+                    included = False
+                    if not state.included_before[by, bx]:
+                        v = state.incl_tree.decode_value(r, by, bx, layer + 1)
+                        if v is not None and v <= layer:
+                            included = True
+                            t = 1
+                            zp = None
+                            while zp is None:
+                                zp = state.zp_tree.decode_value(r, by, bx, t)
+                                t += 1
+                            self.zero_planes[b_idx][by, bx] = zp
+                            state.included_before[by, bx] = True
+                    else:
+                        included = r.read_bit() == 1
+                    if not included:
+                        continue
+                    n_passes = _read_pass_count(r)
+                    bits = int(state.lblock[by, bx]) + _floor_log2(n_passes)
+                    while r.read_bit() == 1:
+                        state.lblock[by, bx] += 1
+                        bits += 1
+                    length = r.read_bits(bits)
+                    pending.append((b_idx, by, bx, n_passes, length))
+        r.align()
+        pos = r.tell_bytes()
+        for b_idx, by, bx, n_passes, length in pending:
+            out[b_idx][by][bx] = BlockContribution(n_passes, data[pos : pos + length])
+            pos += length
+        return out, pos

@@ -1,0 +1,149 @@
+"""Tag trees (T.800 B.10.2): hierarchical coding of 2-D integer grids.
+
+A tag tree codes an array of non-negative integers (one per code-block in
+a precinct) by building a quad-tree of minima and emitting, per queried
+leaf, only the increments not already implied by its ancestors.  Packet
+headers use two: one for the first layer in which each code-block is
+included, one for the number of missing (all-zero) bit planes.
+
+The encoder and decoder share threshold state per node, so repeated
+queries with growing thresholds (layer by layer) emit incremental bits --
+exactly the standard's protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .bitio import BitReader, BitWriter
+
+__all__ = ["TagTree", "TagTreeDecoder"]
+
+
+def _build_levels(height: int, width: int) -> List[Tuple[int, int]]:
+    """Grid sizes leaf -> root, halving (ceil) each level."""
+    sizes = [(height, width)]
+    h, w = height, width
+    while h > 1 or w > 1:
+        h, w = (h + 1) // 2, (w + 1) // 2
+        sizes.append((h, w))
+    return sizes
+
+
+class _TreeState:
+    """Shared node layout for encoder and decoder."""
+
+    def __init__(self, height: int, width: int) -> None:
+        if height < 1 or width < 1:
+            raise ValueError("tag tree needs a non-empty grid")
+        self.height = height
+        self.width = width
+        self.sizes = _build_levels(height, width)
+        self.n_levels = len(self.sizes)
+
+
+class TagTree(_TreeState):
+    """Encoder side: initialized with the full grid of values."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 2:
+            raise ValueError("tag tree values must be 2-D")
+        if (values < 0).any():
+            raise ValueError("tag tree values must be non-negative")
+        super().__init__(*values.shape)
+        # values[level][i, j]: minimum over the leaf region.
+        self.values: List[np.ndarray] = [values]
+        for level in range(1, self.n_levels):
+            h, w = self.sizes[level]
+            prev = self.values[-1]
+            cur = np.full((h, w), np.iinfo(np.int64).max, dtype=np.int64)
+            ph, pw = prev.shape
+            for di in range(2):
+                for dj in range(2):
+                    sub = prev[di::2, dj::2]
+                    cur[: sub.shape[0], : sub.shape[1]] = np.minimum(
+                        cur[: sub.shape[0], : sub.shape[1]], sub
+                    )
+            self.values.append(cur)
+        # threshold state per node: lower bound already communicated, and
+        # whether the exact node value has been emitted.
+        self.state: List[np.ndarray] = [np.zeros(s, dtype=np.int64) for s in self.sizes]
+        self.known: List[np.ndarray] = [np.zeros(s, dtype=bool) for s in self.sizes]
+
+    def encode_value(self, writer: BitWriter, i: int, j: int, threshold: int) -> None:
+        """Emit bits so the decoder learns whether ``value[i,j] < threshold``
+        (and if so, the exact value).
+
+        Repeated calls with growing thresholds emit only increments --
+        the standard's layer-by-layer inclusion protocol.
+        """
+        lower = 0
+        path = [(lev, i >> lev, j >> lev) for lev in range(self.n_levels - 1, -1, -1)]
+        for level, ii, jj in path:
+            st = self.state[level]
+            if st[ii, jj] < lower:
+                st[ii, jj] = lower
+            value = int(self.values[level][ii, jj])
+            if self.known[level][ii, jj]:
+                lower = value
+                continue
+            while value > st[ii, jj] and st[ii, jj] < threshold:
+                writer.write_bit(0)
+                st[ii, jj] += 1
+            if st[ii, jj] < threshold:
+                # value == state: terminate this node with a 1.
+                writer.write_bit(1)
+                self.known[level][ii, jj] = True
+                lower = value
+            else:
+                return  # value >= threshold: decoder learns no more here
+
+
+
+class TagTreeDecoder(_TreeState):
+    """Decoder side: reconstructs values incrementally from the bits."""
+
+    def __init__(self, height: int, width: int) -> None:
+        super().__init__(height, width)
+        self.state: List[np.ndarray] = [np.zeros(s, dtype=np.int64) for s in self.sizes]
+        self.known: List[np.ndarray] = [np.zeros(s, dtype=bool) for s in self.sizes]
+        self.values: List[np.ndarray] = [np.zeros(s, dtype=np.int64) for s in self.sizes]
+
+    def decode_value(self, reader: BitReader, i: int, j: int, threshold: int) -> Optional[int]:
+        """Mirror of :meth:`TagTree.encode_value`.
+
+        Returns the exact value if it is ``< threshold``, else ``None``
+        (meaning ``>= threshold``).
+        """
+        lower = 0
+        result: Optional[int] = None
+        path = [(lev, i >> lev, j >> lev) for lev in range(self.n_levels - 1, -1, -1)]
+        for level, ii, jj in path:
+            st = self.state[level]
+            if st[ii, jj] < lower:
+                st[ii, jj] = lower
+            if self.known[level][ii, jj]:
+                lower = int(self.values[level][ii, jj])
+                if lower >= threshold:
+                    return None
+                if level == 0:
+                    result = lower
+                continue
+            while st[ii, jj] < threshold:
+                bit = reader.read_bit()
+                if bit == 0:
+                    st[ii, jj] += 1
+                else:
+                    self.known[level][ii, jj] = True
+                    self.values[level][ii, jj] = st[ii, jj]
+                    break
+            if self.known[level][ii, jj]:
+                lower = int(self.values[level][ii, jj])
+                if level == 0:
+                    result = lower
+            else:
+                return None  # node state reached threshold: value >= threshold
+        return result

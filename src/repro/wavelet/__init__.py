@@ -1,0 +1,58 @@
+"""Wavelet transform engine (JPEG2000 part-1 filters, built from scratch).
+
+Implements the two JPEG2000 wavelet transforms in lifting form:
+
+- the reversible integer **5/3** (LeGall) transform used for lossless
+  coding, and
+- the irreversible floating-point **9/7** (CDF / Daubechies) transform the
+  paper uses as the JPEG2000 default ("five-level wavelet decomposition
+  with 7/9-biorthogonal filters").
+
+The 2-D transform follows the Mallat decomposition: at every level the
+columns are filtered (**vertical filtering**) and the rows are filtered
+(**horizontal filtering**), then the LL band recurses.  The paper's central
+observation is that on a row-major image whose width is a power of two,
+vertical filtering walks memory with a stride that maps entire columns into
+a single cache set -- :mod:`repro.cachesim` models exactly that, and
+:mod:`repro.wavelet.strategies` describes the three memory-access
+strategies the paper compares (naive column-at-a-time, the paper's
+aggregated-columns fix, and width padding).
+
+Public API
+----------
+- :func:`dwt1d` / :func:`idwt1d` -- one lifting stage along an axis.
+- :func:`dwt2d` / :func:`idwt2d` -- multilevel 2-D transform.
+- :class:`Subbands` -- decomposition container with Mallat-matrix packing.
+- :class:`FilterBank` -- filter parameters (``FILTER_5_3``, ``FILTER_9_7``).
+- :mod:`strategies` -- vertical-filtering execution plans + op accounting.
+"""
+
+from .filters import FILTER_5_3, FILTER_9_7, FilterBank, get_filter
+from .lifting import dwt1d, idwt1d
+from .dwt2d import Subbands, dwt2d, idwt2d, subband_shapes, synthesis_energy_gain
+from .strategies import (
+    VerticalStrategy,
+    FilterPlan,
+    plan_vertical_filter,
+    plan_horizontal_filter,
+    filter_columns_chunked,
+)
+
+__all__ = [
+    "FILTER_5_3",
+    "FILTER_9_7",
+    "FilterBank",
+    "get_filter",
+    "dwt1d",
+    "idwt1d",
+    "Subbands",
+    "dwt2d",
+    "idwt2d",
+    "subband_shapes",
+    "synthesis_energy_gain",
+    "VerticalStrategy",
+    "FilterPlan",
+    "plan_vertical_filter",
+    "plan_horizontal_filter",
+    "filter_columns_chunked",
+]

@@ -1,0 +1,131 @@
+"""Filter-bank definitions for the JPEG2000 part-1 wavelet transforms.
+
+Both transforms are implemented in lifting form (ITU-T T.800 Annex F).
+The dataclass records everything the rest of the system needs:
+
+- the lifting coefficients (used by :mod:`repro.wavelet.lifting`),
+- the *effective filter length*, which drives the memory-access footprint
+  in the cache model (the paper: "the filter length is longer than k,
+  [where k] corresponds to the k-way associative cache"),
+- the per-sample operation counts used by the :mod:`repro.perf` cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["FilterBank", "FILTER_5_3", "FILTER_9_7", "get_filter"]
+
+
+@dataclass(frozen=True)
+class FilterBank:
+    """A two-channel wavelet filter bank in lifting form.
+
+    Attributes
+    ----------
+    name:
+        ``"5/3"`` or ``"9/7"``.
+    reversible:
+        True for the integer (lossless-capable) 5/3 transform.
+    lifting_steps:
+        Alternating predict/update multipliers.  For the 9/7 these are the
+        standard (alpha, beta, gamma, delta); the 5/3 uses its rational
+        predict/update realized with integer floor arithmetic instead.
+    scale_low, scale_high:
+        Final subband scaling (9/7 only): analysis lowpass gets DC gain 1,
+        highpass gets Nyquist gain 2, matching T.800 Table F.4.
+    analysis_low_length, analysis_high_length:
+        Tap counts of the equivalent FIR filters -- the memory footprint
+        per output sample used by the cache/work models (9 and 7 for the
+        9/7; 5 and 3 for the 5/3).
+    ops_per_sample:
+        Arithmetic operations (multiply+add counted separately) that one
+        lifting pass spends per *input* sample; feeds the cycle cost model.
+    """
+
+    name: str
+    reversible: bool
+    lifting_steps: Tuple[float, ...]
+    scale_low: float
+    scale_high: float
+    analysis_low_length: int
+    analysis_high_length: int
+    ops_per_sample: int
+    description: str = field(default="", compare=False)
+
+    @property
+    def max_length(self) -> int:
+        """Longest equivalent FIR filter (the cache-footprint parameter)."""
+        return max(self.analysis_low_length, self.analysis_high_length)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FilterBank({self.name})"
+
+
+#: Reversible LeGall 5/3 integer transform (JPEG2000 lossless path).
+#: Lifting: d[n] = x[2n+1] - floor((x[2n]+x[2n+2]) / 2);
+#:          s[n] = x[2n]   + floor((d[n-1]+d[n]+2) / 4).
+FILTER_5_3 = FilterBank(
+    name="5/3",
+    reversible=True,
+    lifting_steps=(-0.5, 0.25),
+    scale_low=1.0,
+    scale_high=1.0,
+    analysis_low_length=5,
+    analysis_high_length=3,
+    ops_per_sample=4,
+    description="LeGall 5/3 reversible integer lifting (T.800 F.4.8.2.2)",
+)
+
+#: Irreversible CDF 9/7 transform (JPEG2000 default lossy path; the
+#: "7/9-biorthogonal filters" of the paper).  Four lifting steps plus the
+#: subband scaling K = 1.230174104914001.
+_K_97 = 1.230174104914001
+FILTER_9_7 = FilterBank(
+    name="9/7",
+    reversible=False,
+    lifting_steps=(
+        -1.586134342059924,  # alpha (predict 1)
+        -0.052980118572961,  # beta  (update 1)
+        0.882911075530934,  # gamma (predict 2)
+        0.443506852043971,  # delta (update 2)
+    ),
+    scale_low=1.0 / _K_97,
+    scale_high=_K_97,
+    analysis_low_length=9,
+    analysis_high_length=7,
+    ops_per_sample=8,
+    description="CDF 9/7 irreversible lifting (T.800 F.4.8.2.1)",
+)
+
+#: Floating-point realization of the 5/3 lifting (no floor rounding).
+#: Internal: used to compute synthesis energy gains for the reversible
+#: transform, where exact integer lifting would distort the estimate.
+FILTER_5_3_FLOAT = FilterBank(
+    name="5/3-float",
+    reversible=False,
+    lifting_steps=(-0.5, 0.25),
+    scale_low=1.0,
+    scale_high=1.0,
+    analysis_low_length=5,
+    analysis_high_length=3,
+    ops_per_sample=4,
+    description="LeGall 5/3 lifting without integer rounding",
+)
+
+_FILTERS = {
+    "5/3": FILTER_5_3,
+    "9/7": FILTER_9_7,
+    "53": FILTER_5_3,
+    "97": FILTER_9_7,
+    "5/3-float": FILTER_5_3_FLOAT,
+}
+
+
+def get_filter(name: str) -> FilterBank:
+    """Look up a filter bank by name (``"5/3"``, ``"9/7"``, ``"53"``, ``"97"``)."""
+    try:
+        return _FILTERS[name]
+    except KeyError:
+        raise ValueError(f"unknown wavelet filter {name!r}; options: 5/3, 9/7") from None

@@ -1,0 +1,140 @@
+"""One-dimensional lifting transforms, vectorized along the other axis.
+
+These routines implement the JPEG2000 1D_EXT filtering with whole-sample
+symmetric boundary extension, operating on **axis 0** of a 2-D array so a
+single call filters every column at once (the idiomatic NumPy realization
+of a filter sweep; see the repository guide on vectorizing loops).  Row
+filtering is performed by transposing.
+
+The deinterleaved convention is used throughout: a length-``N`` signal
+produces ``ceil(N/2)`` lowpass and ``floor(N/2)`` highpass samples
+(even-indexed start, per the standard's default tile origin).
+
+Lifting recurrences (T.800 Annex F), with ``x`` the extended signal:
+
+- predict:  ``d[n] = x[2n+1] (+/-) f(x[2n], x[2n+2])``
+- update:   ``s[n] = x[2n]   (+/-) g(d[n-1], d[n])``
+
+Boundary handling reduces to two neighbor rules, implemented once:
+
+- ``even[n+1]`` reflects onto ``even[-1]`` past the right edge,
+- ``d[n-1]`` reflects onto ``d[0]`` past the left edge, and ``d[n]``
+  reflects onto ``d[-1]`` when the lowpass channel is one sample longer
+  (odd-length signals).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .filters import FilterBank
+
+__all__ = ["dwt1d", "idwt1d"]
+
+
+def _even_right(even: np.ndarray, n_odd: int) -> np.ndarray:
+    """``r[n] = even[n+1]`` for the predict step, reflecting at the end."""
+    if even.shape[0] == n_odd:
+        return np.concatenate([even[1:], even[-1:]], axis=0)
+    return even[1 : n_odd + 1]
+
+
+def _odd_pair(odd: np.ndarray, n_even: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(l, r)`` with ``l[n] = d[n-1]`` and ``r[n] = d[n]`` for the update step.
+
+    Reflection: ``l[0] = d[0]``; for odd-length signals (one more lowpass
+    than highpass sample) ``r[-1] = d[-1]``.
+    """
+    n_odd = odd.shape[0]
+    left = np.concatenate([odd[:1], odd[: n_even - 1]], axis=0)
+    if n_odd == n_even:
+        right = odd
+    else:  # n_even == n_odd + 1
+        right = np.concatenate([odd, odd[-1:]], axis=0)
+    return left, right
+
+
+def dwt1d(x: np.ndarray, bank: FilterBank) -> Tuple[np.ndarray, np.ndarray]:
+    """Forward one-level lifting along axis 0.
+
+    Parameters
+    ----------
+    x:
+        ``(N, ...)`` array.  For the 5/3 this must be an integer array
+        (the transform is exact); for the 9/7 it is promoted to float64.
+    bank:
+        :data:`~repro.wavelet.filters.FILTER_5_3` or
+        :data:`~repro.wavelet.filters.FILTER_9_7`.
+
+    Returns
+    -------
+    (low, high):
+        Lowpass ``(ceil(N/2), ...)`` and highpass ``(floor(N/2), ...)``.
+    """
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot transform an empty signal")
+    if n == 1:
+        # Single-sample signal passes through as lowpass unchanged.
+        return np.array(x, copy=True), x[:0].copy()
+
+    if bank.reversible:
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.integer):
+            raise TypeError("5/3 reversible transform requires an integer array")
+        even = x[0::2].astype(np.int64)
+        odd = x[1::2].astype(np.int64)
+        n_odd, n_even = odd.shape[0], even.shape[0]
+        high = odd - ((even[:n_odd] + _even_right(even, n_odd)) >> 1)
+        d_left, d_right = _odd_pair(high, n_even)
+        low = even + ((d_left + d_right + 2) >> 2)
+        return low, high
+
+    y = np.asarray(x, dtype=np.float64)
+    even = y[0::2].copy()
+    odd = y[1::2].copy()
+    n_odd, n_even = odd.shape[0], even.shape[0]
+
+    for step, coef in enumerate(bank.lifting_steps):
+        if step % 2 == 0:  # predict: updates the odd (highpass) channel
+            odd += coef * (even[:n_odd] + _even_right(even, n_odd))
+        else:  # update: updates the even (lowpass) channel
+            d_left, d_right = _odd_pair(odd, n_even)
+            even += coef * (d_left + d_right)
+    return even * bank.scale_low, odd * bank.scale_high
+
+
+def idwt1d(low: np.ndarray, high: np.ndarray, bank: FilterBank) -> np.ndarray:
+    """Inverse of :func:`dwt1d` along axis 0 (bit-exact for the 5/3)."""
+    n_even, n_odd = low.shape[0], high.shape[0]
+    n = n_even + n_odd
+    if n == 0:
+        raise ValueError("cannot invert an empty decomposition")
+    if n == 1:
+        return np.array(low, copy=True)
+    if not (n_even == n_odd or n_even == n_odd + 1):
+        raise ValueError(f"inconsistent subband lengths {n_even}/{n_odd}")
+
+    if bank.reversible:
+        high = np.asarray(high, dtype=np.int64)
+        low = np.asarray(low, dtype=np.int64)
+        d_left, d_right = _odd_pair(high, n_even)
+        even = low - ((d_left + d_right + 2) >> 2)
+        odd = high + ((even[:n_odd] + _even_right(even, n_odd)) >> 1)
+    else:
+        even = np.asarray(low, dtype=np.float64) / bank.scale_low
+        odd = np.asarray(high, dtype=np.float64) / bank.scale_high
+        for step in range(len(bank.lifting_steps) - 1, -1, -1):
+            coef = bank.lifting_steps[step]
+            if step % 2 == 0:  # undo predict
+                odd = odd - coef * (even[:n_odd] + _even_right(even, n_odd))
+            else:  # undo update
+                d_left, d_right = _odd_pair(odd, n_even)
+                even = even - coef * (d_left + d_right)
+
+    out = np.empty((n,) + tuple(low.shape[1:]), dtype=even.dtype)
+    out[0::2] = even
+    out[1::2] = odd
+    return out

@@ -1,0 +1,279 @@
+"""Vertical-filtering execution strategies (Sec. 3.2 of the paper).
+
+The three strategies compute **identical coefficients** (verified in the
+test suite via :func:`filter_columns_chunked`); what differs is the order
+in which memory is touched:
+
+``NAIVE``
+    Column-at-a-time vertical lifting, exactly as in the original JJ2000 /
+    Jasper code.  On a row-major image whose width (= row stride) is a
+    power of two, consecutive samples of one column are ``W * elem_size``
+    bytes apart; when that stride is a multiple of ``num_sets *
+    line_size``, *every* sample of the column maps into a single cache
+    set, and a filter longer than the associativity evicts its own
+    working set on every tap -- the paper's "enormous amount of cache
+    misses".
+
+``AGGREGATED``
+    The paper's fix: several adjacent columns (one cache line's worth) are
+    filtered concurrently within a single processor, so each line fill is
+    reused by every column sharing the line.  Misses drop by roughly the
+    aggregation factor and, crucially, the shared-bus pressure disappears.
+
+``PADDED``
+    The paper's first (rejected) alternative: pad the image width off the
+    power of two so consecutive column samples land in different cache
+    sets.  Helps vertically adjacent samples hit, at the cost of wasted
+    memory and still one fill per line actually used.
+
+A :class:`FilterPlan` is pure geometry -- it records, for every 1-D sweep
+of a multilevel decomposition, the array extent, strides and aggregation
+width.  :mod:`repro.cachesim` turns plans into address traces / analytic
+miss counts, and :mod:`repro.perf` turns them into simulated cycles.  The
+in-place Mallat convention of the reference codecs is modelled: every
+level operates inside the full-resolution buffer, so the *row stride never
+shrinks* as levels get coarser (this is why the pathology persists across
+levels).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .filters import FilterBank
+from .lifting import dwt1d
+
+__all__ = [
+    "VerticalStrategy",
+    "Sweep",
+    "FilterPlan",
+    "plan_vertical_filter",
+    "plan_horizontal_filter",
+    "plan_dwt2d",
+    "filter_columns_chunked",
+]
+
+
+class VerticalStrategy(enum.Enum):
+    """Memory-access strategy for vertical (column) filtering."""
+
+    NAIVE = "naive"
+    AGGREGATED = "aggregated"
+    PADDED = "padded"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One 1-D filtering sweep over a 2-D region.
+
+    Attributes
+    ----------
+    level:
+        Decomposition level (1 = finest).
+    direction:
+        ``"vertical"`` (filter along columns) or ``"horizontal"``.
+    n_along:
+        Samples per filtered line (rows for vertical, columns for
+        horizontal sweeps).
+    n_lines:
+        Number of independent lines filtered (columns for vertical
+        sweeps).
+    elem_size:
+        Bytes per sample (4 for float32 Jasper buffers, 8 for float64).
+    row_stride_bytes:
+        Distance between vertically adjacent samples in memory.  Constant
+        across levels for the in-place transform.
+    aggregation:
+        Number of adjacent lines filtered concurrently by one processor
+        (1 for naive; a cache line's worth for the aggregated strategy).
+    ops_per_sample:
+        Arithmetic per input sample (from the filter bank).
+    """
+
+    level: int
+    direction: str
+    n_along: int
+    n_lines: int
+    elem_size: int
+    row_stride_bytes: int
+    aggregation: int
+    ops_per_sample: int
+
+    @property
+    def samples(self) -> int:
+        """Total samples touched by the sweep."""
+        return self.n_along * self.n_lines
+
+    @property
+    def ops(self) -> int:
+        """Arithmetic operations performed by the sweep."""
+        return self.samples * self.ops_per_sample
+
+    @property
+    def column_stride_bytes(self) -> int:
+        """Stride between consecutive samples of a filtered line."""
+        if self.direction == "vertical":
+            return self.row_stride_bytes
+        return self.elem_size
+
+
+@dataclass(frozen=True)
+class FilterPlan:
+    """The complete sweep schedule of one multilevel 2-D DWT."""
+
+    height: int
+    width: int
+    levels: int
+    strategy: VerticalStrategy
+    sweeps: Tuple[Sweep, ...]
+
+    def vertical_sweeps(self) -> Tuple[Sweep, ...]:
+        return tuple(s for s in self.sweeps if s.direction == "vertical")
+
+    def horizontal_sweeps(self) -> Tuple[Sweep, ...]:
+        return tuple(s for s in self.sweeps if s.direction == "horizontal")
+
+    @property
+    def total_ops(self) -> int:
+        return sum(s.ops for s in self.sweeps)
+
+
+def _padded_width(width: int, elem_size: int, line_size: int = 32) -> int:
+    """Width after the PADDED strategy's dummy-column insertion.
+
+    Adds one cache line worth of dummy samples plus one extra element so
+    the row stride is neither a power of two nor line-aligned with the
+    set period -- the paper's "image width is forced to be not a
+    power-of-two (e.g. by inserting dummy data)".
+    """
+    pad = line_size // elem_size + 1
+    return width + pad
+
+
+def plan_vertical_filter(
+    height: int,
+    width: int,
+    level: int,
+    bank: FilterBank,
+    strategy: VerticalStrategy = VerticalStrategy.NAIVE,
+    elem_size: int = 4,
+    line_size: int = 32,
+) -> Sweep:
+    """Plan the vertical sweep of decomposition level ``level``.
+
+    The region filtered at level ``l`` is the LL band of level ``l-1``:
+    ``ceil(H / 2**(l-1)) x ceil(W / 2**(l-1))`` samples, living inside the
+    full-resolution buffer (row stride = full image width).
+    """
+    sub_h = -(-height // (1 << (level - 1)))
+    sub_w = -(-width // (1 << (level - 1)))
+    stride_width = width if strategy is not VerticalStrategy.PADDED else _padded_width(width, elem_size, line_size)
+    aggregation = 1
+    if strategy is VerticalStrategy.AGGREGATED:
+        aggregation = max(1, line_size // elem_size)
+    return Sweep(
+        level=level,
+        direction="vertical",
+        n_along=sub_h,
+        n_lines=sub_w,
+        elem_size=elem_size,
+        row_stride_bytes=stride_width * elem_size,
+        aggregation=aggregation,
+        ops_per_sample=bank.ops_per_sample,
+    )
+
+
+def plan_horizontal_filter(
+    height: int,
+    width: int,
+    level: int,
+    bank: FilterBank,
+    strategy: VerticalStrategy = VerticalStrategy.NAIVE,
+    elem_size: int = 4,
+    line_size: int = 32,
+) -> Sweep:
+    """Plan the horizontal sweep of decomposition level ``level``.
+
+    Horizontal filtering walks memory sequentially, so its behaviour is
+    strategy-independent (aggregation only applies to the vertical
+    direction); the row stride matters only for the PADDED variant's
+    larger buffer.
+    """
+    sub_h = -(-height // (1 << (level - 1)))
+    sub_w = -(-width // (1 << (level - 1)))
+    stride_width = width if strategy is not VerticalStrategy.PADDED else _padded_width(width, elem_size, line_size)
+    return Sweep(
+        level=level,
+        direction="horizontal",
+        n_along=sub_w,
+        n_lines=sub_h,
+        elem_size=elem_size,
+        row_stride_bytes=stride_width * elem_size,
+        aggregation=1,
+        ops_per_sample=bank.ops_per_sample,
+    )
+
+
+def plan_dwt2d(
+    height: int,
+    width: int,
+    levels: int,
+    bank: FilterBank,
+    strategy: VerticalStrategy = VerticalStrategy.NAIVE,
+    elem_size: int = 4,
+    line_size: int = 32,
+) -> FilterPlan:
+    """Plan every sweep of a ``levels``-deep decomposition.
+
+    Per level: one vertical sweep then one horizontal sweep (the paper's
+    synchronization point between the two is modelled as a barrier by
+    :mod:`repro.smp`).
+    """
+    sweeps: List[Sweep] = []
+    for level in range(1, levels + 1):
+        sweeps.append(
+            plan_vertical_filter(height, width, level, bank, strategy, elem_size, line_size)
+        )
+        sweeps.append(
+            plan_horizontal_filter(height, width, level, bank, strategy, elem_size, line_size)
+        )
+    return FilterPlan(
+        height=height, width=width, levels=levels, strategy=strategy, sweeps=tuple(sweeps)
+    )
+
+
+def filter_columns_chunked(
+    x: np.ndarray, bank: FilterBank, chunk: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vertical lifting performed ``chunk`` columns at a time.
+
+    Numerically identical to ``dwt1d(x, bank)`` -- this is the executable
+    witness that the paper's aggregated-columns strategy is a pure memory
+    reordering with no effect on the coefficients.  ``chunk=1`` is the
+    naive column-at-a-time order.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    n, m = x.shape
+    n_low, n_high = (n + 1) // 2, n // 2
+    low = np.empty((n_low, m), dtype=np.int64 if bank.reversible else np.float64)
+    high = np.empty((n_high, m), dtype=low.dtype)
+    for start in range(0, m, chunk):
+        sl = slice(start, min(start + chunk, m))
+        lo, hi = dwt1d(x[:, sl], bank)
+        low[:, sl] = lo
+        high[:, sl] = hi
+    return low, high
+
+
+def iter_column_groups(n_cols: int, aggregation: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` column groups for an aggregated sweep."""
+    for start in range(0, n_cols, aggregation):
+        yield start, min(start + aggregation, n_cols)

@@ -1,0 +1,48 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Property tests run numeric kernels; keep example counts moderate and
+# disable deadlines (first-call numpy warm-up easily exceeds defaults).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_image():
+    """A 64x64 standard synthetic test image (session-cached)."""
+    from repro.image import SyntheticSpec, synthetic_image
+
+    return synthetic_image(SyntheticSpec(64, 64, "mix", seed=7))
+
+
+@pytest.fixture(scope="session")
+def medium_image():
+    """A 128x128 standard synthetic test image (session-cached)."""
+    from repro.image import SyntheticSpec, synthetic_image
+
+    return synthetic_image(SyntheticSpec(128, 128, "mix", seed=7))
+
+
+@pytest.fixture(scope="session")
+def encoded_medium(medium_image):
+    """One real encode shared by the perf/integration tests."""
+    from repro.codec import CodecParams, encode_image
+
+    return encode_image(
+        medium_image, CodecParams(levels=3, base_step=1 / 64, cb_size=32)
+    )

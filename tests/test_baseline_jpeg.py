@@ -1,0 +1,167 @@
+"""DCT JPEG baseline: transform, entropy stage, codec round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.jpeg import jpeg_decode, jpeg_encode
+from repro.baselines.jpeg.dct import (
+    BLOCK,
+    blockify,
+    dct2_blocks,
+    idct2_blocks,
+    unblockify,
+)
+from repro.baselines.jpeg.huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_code_lengths,
+    canonical_codes,
+)
+from repro.baselines.jpeg.tables import ZIGZAG, inverse_zigzag_order, quant_matrix
+from repro.image import SyntheticSpec, psnr, synthetic_image
+from repro.tier2 import BitReader, BitWriter
+
+
+class TestDct:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20)
+    def test_orthonormal_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = rng.normal(scale=100, size=(2, 3, 8, 8))
+        rec = idct2_blocks(dct2_blocks(blocks))
+        assert np.allclose(rec, blocks, atol=1e-9)
+
+    def test_energy_preserved(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(size=(1, 1, 8, 8))
+        coeffs = dct2_blocks(blocks)
+        assert np.sum(coeffs**2) == pytest.approx(np.sum(blocks**2))
+
+    def test_dc_of_constant_block(self):
+        blocks = np.full((1, 1, 8, 8), 10.0)
+        coeffs = dct2_blocks(blocks)
+        assert coeffs[0, 0, 0, 0] == pytest.approx(80.0)  # 10 * 8
+        assert np.allclose(coeffs[0, 0].ravel()[1:], 0, atol=1e-12)
+
+    @given(st.integers(1, 40), st.integers(1, 40))
+    @settings(max_examples=20)
+    def test_blockify_roundtrip(self, h, w):
+        rng = np.random.default_rng(h * 100 + w)
+        img = rng.normal(size=(h, w))
+        blocks = blockify(img)
+        assert blocks.shape[2:] == (BLOCK, BLOCK)
+        rec = unblockify(blocks, h, w)
+        assert np.allclose(rec, img)
+
+
+class TestTables:
+    def test_zigzag_is_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+        inv = inverse_zigzag_order()
+        assert np.array_equal(np.arange(64)[ZIGZAG][inv], np.arange(64))
+
+    def test_zigzag_starts_dc_then_neighbors(self):
+        assert ZIGZAG[0] == 0
+        assert set(ZIGZAG[1:3].tolist()) == {1, 8}
+
+    def test_quant_matrix_quality_scaling(self):
+        q10 = quant_matrix(10)
+        q50 = quant_matrix(50)
+        q90 = quant_matrix(90)
+        assert np.all(q10 >= q50)
+        assert np.all(q50 >= q90)
+        assert np.all(q90 >= 1)
+
+    def test_invalid_quality(self):
+        for bad in (0, 101):
+            with pytest.raises(ValueError):
+                quant_matrix(bad)
+
+
+class TestHuffman:
+    @given(
+        st.dictionaries(
+            st.integers(0, 255), st.integers(1, 1000), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=30)
+    def test_kraft_inequality(self, freqs):
+        lengths = build_code_lengths(freqs)
+        assert sum(2.0 ** -l for l in lengths.values()) <= 1.0 + 1e-12
+        assert max(lengths.values()) <= 16
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 255), st.integers(1, 100), min_size=2, max_size=30
+        ),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=25)
+    def test_roundtrip(self, freqs, seed):
+        rng = np.random.default_rng(seed)
+        symbols = list(freqs)
+        stream = rng.choice(symbols, size=200).tolist()
+        enc = HuffmanEncoder(freqs)
+        w = BitWriter()
+        enc.write_table(w)
+        for s in stream:
+            enc.encode(w, s)
+        r = BitReader(w.getvalue())
+        dec = HuffmanDecoder(r)
+        assert [dec.decode(r) for _ in stream] == stream
+
+    def test_canonical_codes_prefix_free(self):
+        lengths = {0: 2, 1: 2, 2: 2, 3: 3, 4: 3}
+        codes = canonical_codes(lengths)
+        bitstrings = [format(c, f"0{l}b") for c, l in codes.values()]
+        for a in bitstrings:
+            for b in bitstrings:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_skewed_code_shorter_for_frequent(self):
+        freqs = {0: 1000, 1: 1, 2: 1, 3: 1}
+        enc = HuffmanEncoder(freqs)
+        assert enc.lengths[0] <= min(enc.lengths[s] for s in (1, 2, 3))
+
+
+class TestCodec:
+    def test_roundtrip_shapes(self):
+        for shape in ((64, 64), (50, 70), (8, 8), (9, 17)):
+            img = synthetic_image(SyntheticSpec(*shape, kind="mix", seed=20))
+            rec = jpeg_decode(jpeg_encode(img, 75))
+            assert rec.shape == img.shape
+
+    def test_quality_monotone(self):
+        img = synthetic_image(SyntheticSpec(128, 128, "mix", seed=21))
+        psnrs = [psnr(img, jpeg_decode(jpeg_encode(img, q))) for q in (10, 50, 90)]
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_rate_monotone(self):
+        img = synthetic_image(SyntheticSpec(128, 128, "mix", seed=21))
+        sizes = [len(jpeg_encode(img, q)) for q in (10, 50, 90)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_high_quality_high_fidelity(self):
+        img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=22))
+        rec = jpeg_decode(jpeg_encode(img, 95))
+        assert psnr(img, rec) > 35
+
+    def test_compresses(self):
+        img = synthetic_image(SyntheticSpec(128, 128, "fbm", seed=23))
+        assert len(jpeg_encode(img, 75)) < img.size
+
+    def test_constant_image(self):
+        img = np.full((32, 32), 128, dtype=np.uint8)
+        rec = jpeg_decode(jpeg_encode(img, 50))
+        assert np.all(np.abs(rec.astype(int) - 128) <= 1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            jpeg_decode(b"not-a-jpeg")
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            jpeg_encode(np.zeros((4, 4, 3), dtype=np.uint8))

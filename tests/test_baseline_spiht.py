@@ -1,0 +1,121 @@
+"""SPIHT baseline: prefix decodability, rate-distortion, tree structure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spiht import spiht_decode, spiht_encode
+from repro.baselines.spiht.spiht import _children, _descendant_max, _has_children
+from repro.image import SyntheticSpec, psnr, synthetic_image
+
+
+class TestTreeStructure:
+    def test_root_children_in_detail_bands(self):
+        root = 4
+        kids = _children(1, 2, root)
+        assert kids == ((1, 6), (5, 2), (5, 6))
+
+    def test_nonroot_children_doubled(self):
+        kids = _children(5, 6, root=4)
+        assert kids == ((10, 12), (10, 13), (11, 12), (11, 13))
+
+    def test_trees_partition_all_coefficients(self):
+        """Every non-LL coefficient has exactly one parent path to a root."""
+        h = 32
+        root = 4
+        seen = set()
+        stack = [(i, j) for i in range(root) for j in range(root)]
+        for i in range(root):
+            for j in range(root):
+                seen.add((i, j))
+        while stack:
+            i, j = stack.pop()
+            if _has_children(i, j, root, h):
+                for c in _children(i, j, root):
+                    assert c not in seen, f"duplicate coverage at {c}"
+                    seen.add(c)
+                    stack.append(c)
+        assert len(seen) == h * h
+
+    def test_descendant_max_correct(self):
+        rng = np.random.default_rng(0)
+        h, root = 16, 2
+        mag = rng.integers(0, 100, size=(h, h)).astype(np.int64)
+        tree = _descendant_max(mag, root)
+
+        def brute(i, j):
+            best = 0
+            if not _has_children(i, j, root, h):
+                return 0
+            for c in _children(i, j, root):
+                best = max(best, int(mag[c]), brute(*c))
+            return best
+
+        # Check the detail-band nodes (pooled tree covers those exactly).
+        for i in range(root, h // 2):
+            for j in range(root, h // 2):
+                assert tree[i, j] == brute(i, j)
+
+
+class TestCodec:
+    def test_high_rate_lossless(self):
+        img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=30))
+        rec = spiht_decode(spiht_encode(img, bpp=16.0, levels=3))
+        assert psnr(img, rec) > 55
+
+    def test_rate_distortion_monotone(self):
+        img = synthetic_image(SyntheticSpec(128, 128, "mix", seed=31))
+        psnrs = [
+            psnr(img, spiht_decode(spiht_encode(img, bpp, levels=4)))
+            for bpp in (0.25, 1.0, 4.0)
+        ]
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_budget_respected(self):
+        img = synthetic_image(SyntheticSpec(128, 128, "mix", seed=32))
+        for bpp in (0.5, 2.0):
+            data = spiht_encode(img, bpp, levels=4)
+            assert len(data) <= bpp * img.size / 8 + 32  # header slack
+
+    def test_prefix_decodable(self):
+        """The stream is embedded: decoding is possible at any rate below
+        the encoded one, via re-encoding at lower budget giving a prefix."""
+        img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=33))
+        full = spiht_encode(img, 4.0, levels=3)
+        half = spiht_encode(img, 2.0, levels=3)
+        # Identical prefixes modulo the header's budget field.
+        assert full[:4] == half[:4]
+        body_full = full[4 + 14 :]
+        body_half = half[4 + 14 :]
+        assert body_full[: len(body_half) - 1] == body_half[: len(body_half) - 1]
+
+    def test_decode_truncated_gracefully(self):
+        img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=34))
+        data = spiht_encode(img, 1.0, levels=3)
+        rec = spiht_decode(data)
+        assert rec.shape == img.shape
+        assert psnr(img, rec) > 15
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            spiht_encode(np.zeros((32, 64), dtype=np.uint8), 1.0, 3)
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            spiht_encode(np.zeros((48, 48), dtype=np.uint8), 1.0, 3)
+
+    def test_too_many_levels_rejected(self):
+        with pytest.raises(ValueError):
+            spiht_encode(np.zeros((16, 16), dtype=np.uint8), 1.0, 4)
+
+    def test_bad_bpp_rejected(self):
+        with pytest.raises(ValueError):
+            spiht_encode(np.zeros((16, 16), dtype=np.uint8), 0.0, 2)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            spiht_decode(b"nope")
+
+    def test_constant_image(self):
+        img = np.full((32, 32), 200, dtype=np.uint8)
+        rec = spiht_decode(spiht_encode(img, 2.0, levels=3))
+        assert np.all(np.abs(rec.astype(int) - 200) <= 2)

@@ -1,0 +1,226 @@
+"""Cache simulator: LRU mechanics, set mapping, pathology, bus model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cachesim import (
+    CacheConfig,
+    SharedBus,
+    TraceCache,
+    analytic_sweep_misses,
+    is_pathological,
+    set_period,
+    sweep_trace,
+)
+from repro.wavelet import FILTER_9_7
+from repro.wavelet.strategies import (
+    VerticalStrategy,
+    plan_horizontal_filter,
+    plan_vertical_filter,
+)
+
+
+class TestCacheConfig:
+    def test_default_geometry(self):
+        cfg = CacheConfig()
+        assert cfg.num_lines == 512
+        assert cfg.num_sets == 128
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_size=32, associativity=4)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_size=33, associativity=1)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+    def test_set_index_wraps(self):
+        cfg = CacheConfig(size_bytes=1024, line_size=32, associativity=2)  # 16 sets
+        assert cfg.set_index(0) == 0
+        assert cfg.set_index(32) == 1
+        assert cfg.set_index(32 * 16) == 0
+
+
+class TestLru:
+    def test_hit_after_miss(self):
+        c = TraceCache(CacheConfig(1024, 32, 2))
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(31)  # same line
+        assert not c.access(32)  # next line
+
+    def test_lru_eviction_order(self):
+        cfg = CacheConfig(64, 32, 2)  # 1 set, 2 ways
+        c = TraceCache(cfg)
+        a, b, d = 0, 32, 64  # three distinct lines, same set
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a is MRU
+        c.access(d)  # evicts b (LRU)
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+
+    def test_occupancy_bounded(self):
+        cfg = CacheConfig(256, 32, 2)
+        c = TraceCache(cfg)
+        for addr in range(0, 10000, 32):
+            c.access(addr)
+        assert c.resident_lines() <= cfg.num_lines
+
+    def test_reset(self):
+        c = TraceCache(CacheConfig(256, 32, 2))
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.contains(0)
+
+    @given(st.lists(st.integers(0, 4095), min_size=1, max_size=300))
+    def test_stats_consistency(self, addrs):
+        c = TraceCache(CacheConfig(512, 32, 2))
+        st_ = c.run(iter(addrs))
+        assert st_.accesses == len(addrs)
+        assert 0 <= st_.misses <= st_.accesses
+        assert st_.hits == st_.accesses - st_.misses
+        assert st_.evictions <= st_.misses
+
+    def test_run_matches_access(self):
+        addrs = [0, 32, 0, 64, 96, 0]
+        c1 = TraceCache(CacheConfig(128, 32, 2))
+        st1 = c1.run(iter(addrs))
+        c2 = TraceCache(CacheConfig(128, 32, 2))
+        misses = sum(0 if c2.access(a) else 1 for a in addrs)
+        assert st1.misses == misses
+
+
+class TestSetPeriod:
+    def test_pathological_stride(self):
+        cfg = CacheConfig(16 * 1024, 32, 4)  # 128 sets
+        # 4096-wide float32 image: stride 16384 B = 512 lines = 4*128.
+        assert set_period(16384, cfg) == 1
+
+    def test_benign_stride(self):
+        cfg = CacheConfig(16 * 1024, 32, 4)
+        assert set_period(16384 + 36, cfg) == 128  # misaligned: all sets
+
+    def test_partial_period(self):
+        cfg = CacheConfig(512 * 1024, 32, 4)  # 4096 sets
+        assert set_period(16384, cfg) == 8  # 512 mod 4096 -> period 8
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            set_period(0, CacheConfig())
+
+
+class TestPathologyDetection:
+    def test_pow2_width_vertical_is_pathological(self):
+        cfg = CacheConfig(16 * 1024, 32, 4)
+        sw = plan_vertical_filter(4096, 4096, 1, FILTER_9_7, elem_size=4)
+        assert is_pathological(sw, cfg)
+
+    def test_horizontal_never_pathological(self):
+        cfg = CacheConfig(16 * 1024, 32, 4)
+        sw = plan_horizontal_filter(4096, 4096, 1, FILTER_9_7, elem_size=4)
+        assert not is_pathological(sw, cfg)
+
+    def test_padded_width_not_pathological(self):
+        cfg = CacheConfig(16 * 1024, 32, 4)
+        sw = plan_vertical_filter(
+            4096, 4096, 1, FILTER_9_7, VerticalStrategy.PADDED, elem_size=4
+        )
+        assert not is_pathological(sw, cfg)
+
+
+@pytest.mark.parametrize("width", [128, 137])
+@pytest.mark.parametrize(
+    "strategy",
+    [VerticalStrategy.NAIVE, VerticalStrategy.AGGREGATED, VerticalStrategy.PADDED],
+)
+def test_analytic_matches_trace_vertical(width, strategy):
+    """The closed-form miss model tracks the exact LRU simulation."""
+    cfg = CacheConfig(2048, 32, 4)
+    sw = plan_vertical_filter(96, width, 1, FILTER_9_7, strategy, elem_size=4)
+    analytic = analytic_sweep_misses(sw, cfg, n_passes=4).misses
+    trace = TraceCache(cfg).run(sweep_trace(sw, 4)).misses
+    assert trace > 0
+    assert trace / 1.6 <= analytic <= trace * 1.6
+
+
+@pytest.mark.parametrize("width", [128, 137])
+def test_analytic_matches_trace_horizontal(width):
+    cfg = CacheConfig(2048, 32, 4)
+    sw = plan_horizontal_filter(96, width, 1, FILTER_9_7, elem_size=4)
+    analytic = analytic_sweep_misses(sw, cfg, n_passes=4).misses
+    trace = TraceCache(cfg).run(sweep_trace(sw, 4)).misses
+    assert trace / 1.6 <= analytic <= trace * 1.6
+
+
+class TestStrategyOrdering:
+    """The paper's central result, at miss-count level."""
+
+    def test_aggregated_beats_naive_on_pow2(self):
+        cfg = CacheConfig(16 * 1024, 32, 4)
+        naive = plan_vertical_filter(512, 512, 1, FILTER_9_7, VerticalStrategy.NAIVE)
+        agg = plan_vertical_filter(512, 512, 1, FILTER_9_7, VerticalStrategy.AGGREGATED)
+        m_naive = analytic_sweep_misses(naive, cfg, 4).misses
+        m_agg = analytic_sweep_misses(agg, cfg, 4).misses
+        assert m_naive >= 10 * m_agg
+
+    def test_vertical_worse_than_horizontal_on_pow2(self):
+        cfg = CacheConfig(16 * 1024, 32, 4)
+        v = plan_vertical_filter(512, 512, 1, FILTER_9_7)
+        h = plan_horizontal_filter(512, 512, 1, FILTER_9_7)
+        assert (
+            analytic_sweep_misses(v, cfg, 4).misses
+            >= 10 * analytic_sweep_misses(h, cfg, 4).misses
+        )
+
+    def test_padding_repairs_large_cache_reuse(self):
+        cfg = CacheConfig(512 * 1024, 32, 4)  # L2-like: holds a column
+        naive = plan_vertical_filter(512, 512, 1, FILTER_9_7, VerticalStrategy.NAIVE)
+        padded = plan_vertical_filter(512, 512, 1, FILTER_9_7, VerticalStrategy.PADDED)
+        m_naive = analytic_sweep_misses(naive, cfg, 4).misses
+        m_padded = analytic_sweep_misses(padded, cfg, 4).misses
+        assert m_padded < m_naive / 4
+
+    def test_padding_fails_when_column_exceeds_cache(self):
+        """Unlike aggregation, padding needs the whole column resident."""
+        cfg = CacheConfig(2048, 32, 4)  # tiny: 64 lines
+        padded = plan_vertical_filter(512, 512, 1, FILTER_9_7, VerticalStrategy.PADDED)
+        agg = plan_vertical_filter(512, 512, 1, FILTER_9_7, VerticalStrategy.AGGREGATED)
+        m_padded = analytic_sweep_misses(padded, cfg, 4).misses
+        m_agg = analytic_sweep_misses(agg, cfg, 4).misses
+        assert m_agg < m_padded / 4
+
+
+class TestSharedBus:
+    def test_transfer_cycles(self):
+        bus = SharedBus(bytes_per_cycle=2.0, line_size=32)
+        assert bus.transfer_cycles(10) == pytest.approx(160.0)
+
+    def test_negative_misses_rejected(self):
+        with pytest.raises(ValueError):
+            SharedBus().transfer_cycles(-1)
+
+    def test_phase_time_cpu_bound(self):
+        bus = SharedBus(bytes_per_cycle=100.0, line_size=32)
+        t = bus.phase_time([(1000.0, 1), (500.0, 1)], miss_penalty=10.0)
+        assert t == pytest.approx(1010.0)
+
+    def test_phase_time_bus_bound(self):
+        bus = SharedBus(bytes_per_cycle=0.01, line_size=32)
+        loads = [(100.0, 100)] * 4
+        t = bus.phase_time(loads, miss_penalty=1.0)
+        assert t == pytest.approx(bus.transfer_cycles(400))
+
+    def test_empty_phase(self):
+        assert SharedBus().phase_time([], 10.0) == 0.0
+
+    @given(st.integers(1, 8), st.floats(0.01, 100.0))
+    def test_utilization_bounded(self, n_cpus, bw):
+        bus = SharedBus(bytes_per_cycle=bw, line_size=32)
+        loads = [(100.0, 50)] * n_cpus
+        u = bus.utilization(loads, miss_penalty=5.0)
+        assert 0.0 <= u <= 1.0

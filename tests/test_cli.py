@@ -1,0 +1,89 @@
+"""Command-line interface round trips."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.image import read_pnm, write_pnm, psnr
+from repro.image import SyntheticSpec, synthetic_image
+
+
+@pytest.fixture()
+def pgm(tmp_path):
+    img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=17))
+    path = tmp_path / "in.pgm"
+    write_pnm(str(path), img)
+    return path, img
+
+
+class TestSynth:
+    def test_synth_writes_pgm(self, tmp_path):
+        out = tmp_path / "x.pgm"
+        assert main(["synth", str(out), "--side", "32", "--seed", "4"]) == 0
+        img = read_pnm(str(out))
+        assert img.shape == (32, 32)
+
+    def test_synth_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.pgm", tmp_path / "b.pgm"
+        main(["synth", str(a), "--side", "16", "--seed", "9"])
+        main(["synth", str(b), "--side", "16", "--seed", "9"])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestEncodeDecode:
+    def test_lossless_roundtrip(self, pgm, tmp_path, capsys):
+        path, img = pgm
+        out = tmp_path / "x.rj2k"
+        back = tmp_path / "back.pgm"
+        rc = main(
+            ["encode", str(path), str(out), "--lossless", "--levels", "3",
+             "--cb-size", "16", "--verify"]
+        )
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+        assert main(["decode", str(out), str(back)]) == 0
+        assert np.array_equal(read_pnm(str(back)), img)
+
+    def test_lossy_with_layers(self, pgm, tmp_path):
+        path, img = pgm
+        out = tmp_path / "x.rj2k"
+        rc = main(
+            ["encode", str(path), str(out), "--levels", "3", "--cb-size", "16",
+             "--bpp", "0.5", "2.0"]
+        )
+        assert rc == 0
+        lo, hi = tmp_path / "lo.pgm", tmp_path / "hi.pgm"
+        main(["decode", str(out), str(lo), "--layer", "0"])
+        main(["decode", str(out), str(hi)])
+        assert psnr(img, read_pnm(str(hi))) > psnr(img, read_pnm(str(lo)))
+
+    def test_info(self, pgm, tmp_path, capsys):
+        path, _ = pgm
+        out = tmp_path / "x.rj2k"
+        main(["encode", str(path), str(out), "--levels", "2", "--cb-size", "16"])
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "64x64" in text and "2-level 9/7" in text and "untiled" in text
+
+    def test_tiled_encode(self, pgm, tmp_path, capsys):
+        path, _ = pgm
+        out = tmp_path / "x.rj2k"
+        main(["encode", str(path), str(out), "--levels", "2", "--cb-size", "16",
+              "--tile-size", "32"])
+        capsys.readouterr()
+        main(["info", str(out)])
+        assert "32px tiles" in capsys.readouterr().out
+
+    def test_color_roundtrip(self, tmp_path):
+        r = synthetic_image(SyntheticSpec(32, 32, "mix", seed=1))
+        g = synthetic_image(SyntheticSpec(32, 32, "mix", seed=2))
+        rgb = np.stack([r, g, r // 2], axis=2)
+        src = tmp_path / "c.ppm"
+        write_pnm(str(src), rgb)
+        out = tmp_path / "c.rj2k"
+        back = tmp_path / "back.ppm"
+        assert main(["encode", str(src), str(out), "--lossless", "--levels", "2",
+                     "--cb-size", "16"]) == 0
+        assert main(["decode", str(out), str(back)]) == 0
+        assert np.array_equal(read_pnm(str(back)), rgb)

@@ -1,0 +1,95 @@
+"""Amdahl analysis and speedup bookkeeping."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    SpeedupSeries,
+    amdahl_speedup,
+    efficiency,
+    serial_fraction,
+    speedup_curve,
+)
+
+
+class TestAmdahl:
+    @given(st.floats(0, 100), st.floats(0, 100), st.integers(1, 64))
+    def test_bounds(self, s, p, n):
+        sp = amdahl_speedup(s, p, n)
+        assert 1.0 - 1e-12 <= sp <= n + 1e-9
+
+    @given(st.floats(0.01, 100), st.floats(0.01, 100))
+    def test_monotone_in_cpus(self, s, p):
+        sps = [amdahl_speedup(s, p, n) for n in (1, 2, 4, 8)]
+        assert all(a <= b + 1e-12 for a, b in zip(sps, sps[1:]))
+
+    def test_all_serial_no_speedup(self):
+        assert amdahl_speedup(10.0, 0.0, 16) == 1.0
+
+    def test_all_parallel_linear(self):
+        assert amdahl_speedup(0.0, 10.0, 16) == pytest.approx(16.0)
+
+    def test_paper_example(self):
+        """~40% serial caps 4-CPU speedup near 1.8; ~15% near 2.75."""
+        assert amdahl_speedup(40, 60, 4) == pytest.approx(1.818, abs=0.01)
+        assert amdahl_speedup(15, 85, 4) == pytest.approx(2.75, abs=0.05)
+
+    def test_limit_is_inverse_serial_fraction(self):
+        s, p = 25.0, 75.0
+        limit = amdahl_speedup(s, p, 10**9)
+        assert limit == pytest.approx(1.0 / serial_fraction(s, p), rel=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(-1.0, 1.0, 2)
+
+
+class TestSpeedupSeries:
+    def _series(self):
+        return SpeedupSeries(
+            label="x",
+            reference_label="serial",
+            reference_ms=100.0,
+            cpus=(1, 2, 4),
+            times_ms=(100.0, 60.0, 50.0),
+        )
+
+    def test_speedups(self):
+        s = self._series()
+        assert s.speedups == (1.0, pytest.approx(100 / 60), 2.0)
+        assert s.at(4) == 2.0
+        assert s.max_speedup() == 2.0
+
+    def test_missing_cpu_count(self):
+        with pytest.raises(KeyError):
+            self._series().at(3)
+
+    def test_saturation_detection(self):
+        sat = SpeedupSeries("s", "r", 100.0, (1, 2, 4), (100.0, 55.0, 52.0))
+        lin = SpeedupSeries("l", "r", 100.0, (1, 2, 4), (100.0, 50.0, 25.0))
+        assert sat.saturates()
+        assert not lin.saturates()
+
+    def test_efficiency(self):
+        eff = efficiency(self._series())
+        assert eff[0] == 1.0
+        assert eff[-1] == 0.5
+
+    def test_rows(self):
+        rows = self._series().rows()
+        assert rows[0] == (1, 100.0, 1.0)
+
+    def test_speedup_curve_builder(self):
+        s = speedup_curve("y", lambda n: 100.0 / n, (1, 2, 4), 100.0, "ref")
+        assert s.speedups == (1.0, 2.0, 4.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SpeedupSeries("x", "r", 100.0, (1, 2), (100.0,))
+        with pytest.raises(ValueError):
+            SpeedupSeries("x", "r", 0.0, (1,), (100.0,))

@@ -1,0 +1,73 @@
+"""Distributed-memory (cluster) cost model."""
+
+import pytest
+
+from repro.experiments.common import standard_workload
+from repro.perf import simulate_encode
+from repro.smp import INTEL_SMP
+from repro.smp.distributed import (
+    FAST_ETHERNET,
+    MYRINET_2000,
+    InterconnectSpec,
+    simulate_cluster_encode,
+)
+from repro.wavelet.strategies import VerticalStrategy
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return standard_workload(1024, quick=True)
+
+
+class TestInterconnect:
+    def test_message_cost_model(self):
+        net = InterconnectSpec("x", latency_s=1e-4, bandwidth_bytes_per_s=1e7)
+        assert net.message_s(0) == pytest.approx(1e-4)
+        assert net.message_s(1e7) == pytest.approx(1e-4 + 1.0)
+
+    def test_exchange_rounds(self):
+        net = InterconnectSpec("x", 1e-4, 1e7, full_duplex_pairs=4)
+        one = net.exchange_s(4, 1000)
+        two = net.exchange_s(5, 1000)
+        assert two == pytest.approx(2 * one)
+
+    def test_presets_ordering(self):
+        assert MYRINET_2000.latency_s < FAST_ETHERNET.latency_s
+        assert MYRINET_2000.bandwidth_bytes_per_s > FAST_ETHERNET.bandwidth_bytes_per_s
+
+
+class TestClusterModel:
+    def test_single_node_no_comm(self, wl):
+        cb = simulate_cluster_encode(wl, INTEL_SMP, FAST_ETHERNET, 1)
+        assert cb.comm_ms == 0.0
+        assert cb.total_ms > 0
+
+    def test_compute_divides_with_nodes(self, wl):
+        c1 = simulate_cluster_encode(wl, INTEL_SMP, MYRINET_2000, 1)
+        c4 = simulate_cluster_encode(wl, INTEL_SMP, MYRINET_2000, 4)
+        assert c4.compute_ms == pytest.approx(c1.compute_ms / 4)
+        assert c4.sequential_ms == pytest.approx(c1.sequential_ms)
+
+    def test_comm_grows_with_nodes_on_ethernet(self, wl):
+        c4 = simulate_cluster_encode(wl, INTEL_SMP, FAST_ETHERNET, 4)
+        c16 = simulate_cluster_encode(wl, INTEL_SMP, FAST_ETHERNET, 16)
+        assert c16.halo_ms > c4.halo_ms
+
+    def test_faster_net_less_comm(self, wl):
+        eth = simulate_cluster_encode(wl, INTEL_SMP, FAST_ETHERNET, 8)
+        myr = simulate_cluster_encode(wl, INTEL_SMP, MYRINET_2000, 8)
+        assert myr.comm_ms < eth.comm_ms
+        assert myr.compute_ms == pytest.approx(eth.compute_ms)
+
+    def test_cluster_compute_matches_smp_serial_path(self, wl):
+        """1-node cluster compute+seq ~= serial SMP with aggregated filtering
+        (same tasks, no bus floor and no phase structure)."""
+        cb = simulate_cluster_encode(wl, INTEL_SMP, MYRINET_2000, 1)
+        smp = simulate_encode(
+            wl, INTEL_SMP, 1, VerticalStrategy.AGGREGATED, parallel_quant=True
+        )
+        assert cb.total_ms == pytest.approx(smp.total_ms, rel=0.05)
+
+    def test_invalid_nodes(self, wl):
+        with pytest.raises(ValueError):
+            simulate_cluster_encode(wl, INTEL_SMP, FAST_ETHERNET, 0)

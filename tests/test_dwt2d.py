@@ -1,0 +1,140 @@
+"""2-D multilevel DWT: reconstruction, shapes, packing, gains."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wavelet import (
+    Subbands,
+    dwt2d,
+    idwt2d,
+    subband_shapes,
+    synthesis_energy_gain,
+)
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(4, 70),
+        st.integers(4, 70),
+        st.integers(0, 3),
+        st.integers(0, 2**31),
+    )
+    def test_53_bit_exact(self, h, w, levels, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(-128, 128, size=(h, w)).astype(np.int32)
+        max_l = min(levels, _max_levels(h, w))
+        sb = dwt2d(img, max_l, "5/3")
+        assert np.array_equal(idwt2d(sb), img)
+
+    @given(st.integers(4, 70), st.integers(4, 70), st.integers(0, 2**31))
+    def test_97_near_exact(self, h, w, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.normal(scale=50, size=(h, w))
+        levels = min(3, _max_levels(h, w))
+        sb = dwt2d(img, levels, "9/7")
+        assert np.allclose(idwt2d(sb), img, atol=1e-7)
+
+    def test_zero_levels_identity(self):
+        img = np.arange(12).reshape(3, 4)
+        sb = dwt2d(img, 0, "5/3")
+        assert sb.levels == 0
+        assert np.array_equal(idwt2d(sb), img)
+
+    def test_excessive_levels_rejected(self):
+        with pytest.raises(ValueError):
+            dwt2d(np.zeros((4, 4), dtype=np.int32), 10, "5/3")
+
+    def test_non2d_rejected(self):
+        with pytest.raises(ValueError):
+            dwt2d(np.zeros(16, dtype=np.int32), 1, "5/3")
+
+
+class TestShapes:
+    def test_shapes_sum_to_image(self):
+        shapes = subband_shapes(37, 61, 3)
+        total = int(np.prod(shapes[(3, "LL")]))
+        for lev in (1, 2, 3):
+            for orient in ("HL", "LH", "HH"):
+                total += int(np.prod(shapes[(lev, orient)]))
+        assert total == 37 * 61
+
+    def test_decomposition_matches_shapes(self):
+        img = np.zeros((37, 61), dtype=np.int32)
+        sb = dwt2d(img, 3, "5/3")
+        shapes = subband_shapes(37, 61, 3)
+        assert sb.ll.shape == shapes[(3, "LL")]
+        for lev in (1, 2, 3):
+            for orient in ("HL", "LH", "HH"):
+                assert sb.band(lev, orient).shape == shapes[(lev, orient)]
+
+    def test_total_coefficients(self):
+        img = np.zeros((20, 30), dtype=np.int32)
+        sb = dwt2d(img, 2, "5/3")
+        assert sb.total_coefficients() == 600
+
+    def test_band_access_errors(self):
+        sb = dwt2d(np.zeros((16, 16), dtype=np.int32), 2, "5/3")
+        with pytest.raises(ValueError):
+            sb.band(1, "LL")
+        with pytest.raises(ValueError):
+            sb.band(5, "HL")
+
+
+class TestMatrixPacking:
+    @given(st.integers(8, 64), st.integers(8, 64), st.integers(1, 3))
+    def test_pack_unpack_identity(self, h, w, levels):
+        rng = np.random.default_rng(h * 1000 + w)
+        img = rng.normal(size=(h, w))
+        levels = min(levels, _max_levels(h, w))
+        sb = dwt2d(img, levels, "9/7")
+        m = sb.to_matrix()
+        sb2 = Subbands.from_matrix(m, levels, "9/7")
+        assert np.allclose(idwt2d(sb2), img, atol=1e-7)
+
+    def test_ll_in_top_left(self):
+        img = np.full((32, 32), 77.0)
+        sb = dwt2d(img, 2, "9/7")
+        m = sb.to_matrix()
+        assert np.allclose(m[:8, :8], sb.ll)
+
+
+class TestIterOrder:
+    def test_ll_first_then_coarse_to_fine(self):
+        sb = dwt2d(np.zeros((32, 32), dtype=np.int32), 3, "5/3")
+        order = [(lev, o) for lev, o, _ in sb.iter_bands()]
+        assert order[0] == (3, "LL")
+        assert order[1:4] == [(3, "HL"), (3, "LH"), (3, "HH")]
+        assert order[-3:] == [(1, "HL"), (1, "LH"), (1, "HH")]
+
+
+class TestSynthesisGains:
+    def test_ll_gain_grows_with_level(self):
+        g1 = synthesis_energy_gain("9/7", 1, "LL")
+        g2 = synthesis_energy_gain("9/7", 2, "LL")
+        assert g2 > g1 > 1.0
+
+    def test_hh_smallest_at_level1(self):
+        hh = synthesis_energy_gain("9/7", 1, "HH")
+        hl = synthesis_energy_gain("9/7", 1, "HL")
+        ll = synthesis_energy_gain("9/7", 1, "LL")
+        assert hh < hl < ll
+
+    def test_53_level1_ll_known(self):
+        """5/3 synthesis lowpass squared norm: (analytically 2.25 in 2-D)."""
+        assert synthesis_energy_gain("5/3", 1, "LL") == pytest.approx(2.25, rel=1e-6)
+
+    def test_symmetry_hl_lh(self):
+        assert synthesis_energy_gain("9/7", 1, "HL") == pytest.approx(
+            synthesis_energy_gain("9/7", 1, "LH"), rel=1e-6
+        )
+
+
+def _max_levels(h, w):
+    n = min(h, w)
+    levels = 0
+    while n > 1:
+        n = (n + 1) // 2
+        levels += 1
+    return levels

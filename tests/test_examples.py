@@ -1,0 +1,39 @@
+"""The example scripts compile and the fast ones run end to end."""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "cache_aware_filtering.py",
+        "tile_quality_tradeoff.py",
+        "smp_scaling_study.py",
+        "roi_and_color.py",
+    ],
+)
+def test_example_compiles(name):
+    py_compile.compile(str(_EXAMPLES / name), doraise=True)
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(_EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "lossless 5/3" in out and "bit-exact" in out
+    assert "tier-1 MQ decisions" in out
+
+
+def test_tile_tradeoff_runs_small(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["tile_quality_tradeoff.py", "--side", "64"])
+    runpy.run_path(str(_EXAMPLES / "tile_quality_tradeoff.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "PSNR cost" in out

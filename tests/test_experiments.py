@@ -1,0 +1,68 @@
+"""Every figure experiment passes its qualitative checks (quick mode).
+
+These are the integration tests of the reproduction: each experiment
+regenerates one of the paper's figures at reduced scale and asserts the
+paper's claims as executable checks.  The full-scale versions run in the
+benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments
+from repro.experiments.common import (
+    ExperimentResult,
+    jasper_params,
+    jj2000_params,
+    side_for_kpixels,
+    standard_stats,
+    standard_workload,
+)
+
+_MODULES = all_experiments()
+
+
+@pytest.mark.parametrize("name", sorted(_MODULES))
+def test_experiment_quick_passes(name):
+    result = _MODULES[name].run(quick=True)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{name} produced no rows"
+    assert result.checks, f"{name} asserted nothing"
+    assert result.all_passed, f"{name} failed: {result.failed_checks()}"
+
+
+class TestCommon:
+    def test_side_for_kpixels(self):
+        assert side_for_kpixels(256) == 512
+        assert side_for_kpixels(1024) == 1024
+        assert side_for_kpixels(16384) == 4096
+
+    def test_standard_stats_cached_and_sane(self):
+        s1 = standard_stats(64)
+        s2 = standard_stats(64)
+        assert s1 is s2
+        assert s1.decisions_per_sample > 1
+
+    def test_standard_workload_geometry(self):
+        wl = standard_workload(256, quick=True)
+        assert wl.height == wl.width == 512
+        assert wl.levels == 5
+
+    def test_jasper_faster_than_jj2000(self):
+        assert (
+            jasper_params().dwt_ops_per_sample
+            < jj2000_params().dwt_ops_per_sample
+        )
+
+    def test_result_table_renders(self):
+        r = ExperimentResult("x", "desc")
+        r.rows.append({"a": 1, "b": 2.5})
+        r.check("ok", True)
+        text = r.summary()
+        assert "PASS" in text and "2.50" in text
+
+    def test_result_failure_reporting(self):
+        r = ExperimentResult("x", "desc")
+        r.check("good", True)
+        r.check("bad", False)
+        assert not r.all_passed
+        assert r.failed_checks() == ["bad"]

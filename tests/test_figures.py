@@ -1,0 +1,116 @@
+"""SVG chart writer and figure renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.figures import BarChart, LineChart, StackedBarChart, RENDERERS, render_figure
+from repro.figures.svg import SvgCanvas, _fmt, _nice_ticks
+
+_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def _count(root, tag: str) -> int:
+    return len(root.findall(f".//{_NS}{tag}"))
+
+
+class TestCanvas:
+    def test_empty_canvas_valid(self):
+        root = _parse(SvgCanvas().render())
+        assert root.tag == f"{_NS}svg"
+
+    def test_primitives_emitted(self):
+        c = SvgCanvas()
+        c.line(0, 0, 10, 10)
+        c.circle(5, 5)
+        c.rect(1, 1, 2, 2, fill="#f00")
+        c.text(3, 3, "hi <&>")
+        root = _parse(c.render())
+        assert _count(root, "line") == 1
+        assert _count(root, "circle") == 1
+        assert _count(root, "rect") == 2  # background + drawn
+        assert _count(root, "text") == 1
+
+    def test_text_escaped(self):
+        c = SvgCanvas()
+        c.text(0, 0, "<script>")
+        assert "<script>" not in c.render()
+
+
+class TestTicks:
+    def test_ticks_cover_range(self):
+        ticks = _nice_ticks(0, 97)
+        assert ticks[0] <= 0 + 1e-9
+        assert ticks[-1] <= 97
+        assert len(ticks) >= 3
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5, 5)  # must not crash
+
+    @pytest.mark.parametrize("v,s", [(0, "0"), (12345, "12,345"), (2.5, "2.5")])
+    def test_fmt(self, v, s):
+        assert _fmt(v) == s
+
+
+class TestCharts:
+    def test_line_chart(self):
+        ch = LineChart(title="t", xlabel="x", ylabel="y")
+        ch.add("a", [(1, 1), (2, 4), (3, 9)])
+        ch.add("b", [(1, 2), (2, 3), (3, 5)])
+        root = _parse(ch.render())
+        assert _count(root, "polyline") == 2
+        assert _count(root, "circle") == 6
+
+    def test_line_chart_log(self):
+        ch = LineChart(title="t", xlabel="x", ylabel="y", log_y=True)
+        ch.add("a", [(1, 10), (2, 1000), (3, 100000)])
+        assert "polyline" in ch.render()
+
+    def test_empty_line_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart(title="t", xlabel="x", ylabel="y").render()
+
+    def test_bar_chart(self):
+        ch = BarChart(title="t", xlabel="x", ylabel="y")
+        ch.categories = ["a", "b", "c"]
+        ch.add("s1", [1, 2, 3])
+        ch.add("s2", [3, 2, 1])
+        root = _parse(ch.render())
+        # 6 bars + background + 2 legend swatches
+        assert _count(root, "rect") == 9
+
+    def test_bar_chart_length_mismatch(self):
+        ch = BarChart(title="t", xlabel="x", ylabel="y")
+        ch.categories = ["a", "b"]
+        ch.add("s1", [1.0])
+        with pytest.raises(ValueError):
+            ch.render()
+
+    def test_stacked_chart(self):
+        ch = StackedBarChart(title="t", xlabel="x", ylabel="y")
+        ch.categories = ["a", "b"]
+        ch.add("bottom", [1, 2])
+        ch.add("top", [3, 1])
+        root = _parse(ch.render())
+        assert _count(root, "rect") == 7  # 4 segments + bg + 2 legend
+
+
+class TestRenderers:
+    def test_all_figures_registered(self):
+        assert set(RENDERERS) == {f"fig{n:02d}" for n in range(2, 14)}
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure("fig99")
+
+    @pytest.mark.parametrize("name", ["fig03", "fig07", "fig08", "fig12"])
+    def test_simulation_figures_render(self, name):
+        """Simulation-backed figures are cheap enough to render in tests."""
+        svg = render_figure(name, quick=True)
+        root = _parse(svg)
+        assert root.tag == f"{_NS}svg"
+        assert _count(root, "text") > 4  # axes + labels present

@@ -1,0 +1,103 @@
+"""PNM reader/writer round-trips and error handling."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.image import read_pnm, write_pnm, read_raw, write_raw
+
+
+class TestPgmRoundtrip:
+    def test_uint8_roundtrip(self):
+        img = np.arange(48, dtype=np.uint8).reshape(6, 8)
+        buf = io.BytesIO()
+        write_pnm(buf, img)
+        buf.seek(0)
+        out = read_pnm(buf)
+        assert out.dtype == np.uint8
+        assert np.array_equal(out, img)
+
+    def test_uint16_roundtrip(self):
+        img = (np.arange(24, dtype=np.uint16) * 1000).reshape(4, 6)
+        buf = io.BytesIO()
+        write_pnm(buf, img)
+        buf.seek(0)
+        out = read_pnm(buf)
+        assert out.dtype == np.uint16
+        assert np.array_equal(out, img)
+
+    def test_ppm_roundtrip(self):
+        img = np.arange(36, dtype=np.uint8).reshape(3, 4, 3)
+        buf = io.BytesIO()
+        write_pnm(buf, img)
+        buf.seek(0)
+        out = read_pnm(buf)
+        assert out.shape == (3, 4, 3)
+        assert np.array_equal(out, img)
+
+    def test_file_roundtrip(self, tmp_path):
+        img = np.full((5, 5), 42, dtype=np.uint8)
+        path = tmp_path / "x.pgm"
+        write_pnm(str(path), img)
+        assert np.array_equal(read_pnm(str(path)), img)
+
+    @given(
+        hnp.arrays(
+            dtype=np.uint8,
+            shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=32),
+        )
+    )
+    def test_roundtrip_property(self, img):
+        buf = io.BytesIO()
+        write_pnm(buf, img)
+        buf.seek(0)
+        assert np.array_equal(read_pnm(buf), img)
+
+
+class TestPnmParsing:
+    def test_comments_and_whitespace(self):
+        data = b"P5 # magic comment\n# another\n 3\t2 #dims\n255\n" + bytes(6)
+        out = read_pnm(io.BytesIO(data))
+        assert out.shape == (2, 3)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            read_pnm(io.BytesIO(b"P3\n1 1\n255\n0"))
+
+    def test_truncated_pixels_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_pnm(io.BytesIO(b"P5\n4 4\n255\n" + bytes(3)))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_pnm(io.BytesIO(b"P5\n4"))
+
+    def test_bad_maxval_rejected(self):
+        with pytest.raises(ValueError, match="maxval"):
+            read_pnm(io.BytesIO(b"P5\n1 1\n70000\n\x00\x00"))
+
+    def test_bad_shape_rejected_on_write(self):
+        with pytest.raises(ValueError):
+            write_pnm(io.BytesIO(), np.zeros((2, 2, 2), dtype=np.uint8))
+
+    def test_bad_dtype_rejected_on_write(self):
+        with pytest.raises(ValueError):
+            write_pnm(io.BytesIO(), np.zeros((2, 2), dtype=np.float64))
+
+
+class TestRaw:
+    def test_raw_roundtrip(self, tmp_path):
+        img = np.arange(12, dtype=np.int32).reshape(3, 4)
+        path = tmp_path / "x.raw"
+        write_raw(path, img)
+        assert np.array_equal(read_raw(path, (3, 4), np.int32), img)
+
+    def test_raw_size_mismatch(self, tmp_path):
+        path = tmp_path / "x.raw"
+        write_raw(path, np.zeros(5, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            read_raw(path, (2, 3), np.uint8)

@@ -1,0 +1,110 @@
+"""1-D lifting: perfect reconstruction and normalization properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wavelet.filters import FILTER_5_3, FILTER_9_7, FILTER_5_3_FLOAT, get_filter
+from repro.wavelet.lifting import dwt1d, idwt1d
+
+
+class TestFilterLookup:
+    @pytest.mark.parametrize("name,bank", [("5/3", FILTER_5_3), ("9/7", FILTER_9_7)])
+    def test_lookup(self, name, bank):
+        assert get_filter(name) is bank
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_filter("13/7")
+
+    def test_bank_metadata(self):
+        assert FILTER_9_7.max_length == 9
+        assert FILTER_5_3.max_length == 5
+        assert FILTER_5_3.reversible and not FILTER_9_7.reversible
+
+
+class TestReversible53:
+    @given(st.integers(1, 200), st.integers(0, 2**31))
+    def test_perfect_reconstruction(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-(2**12), 2**12, size=(n, 2))
+        low, high = dwt1d(x, FILTER_5_3)
+        assert low.shape[0] == (n + 1) // 2
+        assert high.shape[0] == n // 2
+        assert np.array_equal(idwt1d(low, high, FILTER_5_3), x)
+
+    def test_constant_signal_zero_highpass(self):
+        x = np.full((32, 1), 100, dtype=np.int64)
+        low, high = dwt1d(x, FILTER_5_3)
+        assert np.all(high == 0)
+        assert np.all(low == 100)
+
+    def test_requires_integers(self):
+        with pytest.raises(TypeError):
+            dwt1d(np.zeros((8, 1)), FILTER_5_3)
+
+    def test_single_sample(self):
+        x = np.array([[5]], dtype=np.int64)
+        low, high = dwt1d(x, FILTER_5_3)
+        assert low.shape == (1, 1) and high.shape == (0, 1)
+        assert np.array_equal(idwt1d(low, high, FILTER_5_3), x)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dwt1d(np.zeros((0, 1), dtype=np.int64), FILTER_5_3)
+
+
+class TestIrreversible97:
+    @given(st.integers(1, 200), st.integers(0, 2**31))
+    def test_perfect_reconstruction(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(scale=100, size=(n, 3))
+        low, high = dwt1d(x, FILTER_9_7)
+        rec = idwt1d(low, high, FILTER_9_7)
+        assert np.allclose(rec, x, atol=1e-8)
+
+    def test_dc_gain_one(self):
+        """T.800 normalization: analysis lowpass has DC gain 1."""
+        x = np.ones((64, 1))
+        low, high = dwt1d(x, FILTER_9_7)
+        assert np.allclose(low, 1.0, atol=1e-12)
+        assert np.allclose(high, 0.0, atol=1e-12)
+
+    def test_nyquist_gain_two(self):
+        """T.800 normalization: analysis highpass has Nyquist gain 2."""
+        x = (1.0 - 2.0 * (np.arange(64) % 2))[:, None]
+        low, high = dwt1d(x, FILTER_9_7)
+        interior = high[2:-2]
+        assert np.allclose(np.abs(interior), 2.0, atol=1e-10)
+        assert np.allclose(low[2:-2], 0.0, atol=1e-10)
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            idwt1d(np.zeros((3, 1)), np.zeros((5, 1)), FILTER_9_7)
+
+    def test_energy_roughly_preserved(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(256, 1))
+        low, high = dwt1d(x, FILTER_9_7)
+        e_in = float(np.sum(x * x))
+        e_out = float(np.sum(low * low) + np.sum(high * high))
+        # Biorthogonal, not orthogonal: energies agree within ~35%.
+        assert 0.65 * e_in < e_out < 1.35 * e_in
+
+
+class TestFloat53:
+    @given(st.integers(2, 100))
+    def test_float_variant_reconstructs(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 1))
+        low, high = dwt1d(x, FILTER_5_3_FLOAT)
+        assert np.allclose(idwt1d(low, high, FILTER_5_3_FLOAT), x, atol=1e-10)
+
+    def test_matches_integer_on_smooth_data(self):
+        """Float and integer 5/3 differ only by rounding."""
+        x = (np.arange(32, dtype=np.int64) * 8)[:, None]
+        li, hi = dwt1d(x, FILTER_5_3)
+        lf, hf = dwt1d(x.astype(float), FILTER_5_3_FLOAT)
+        assert np.max(np.abs(li - lf)) <= 1.0
+        assert np.max(np.abs(hi - hf)) <= 1.0

@@ -1,0 +1,90 @@
+"""Quality/rate metric properties."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.image import entropy_bits, mae, mse, psnr, rate_bpp
+
+_images = hnp.arrays(
+    dtype=np.uint8,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=16),
+)
+
+
+class TestMse:
+    @given(_images)
+    def test_identical_is_zero(self, img):
+        assert mse(img, img) == 0.0
+
+    @given(_images)
+    def test_nonnegative_and_symmetric(self, img):
+        other = 255 - img
+        assert mse(img, other) >= 0
+        assert mse(img, other) == mse(other, img)
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 2.0)
+        assert mse(a, b) == 4.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestPsnr:
+    def test_identical_is_inf(self):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        assert math.isinf(psnr(img, img))
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    @given(_images, st.integers(1, 30))
+    def test_less_noise_higher_psnr(self, img, delta):
+        noisy1 = np.clip(img.astype(int) + delta, 0, 255)
+        noisy2 = np.clip(img.astype(int) + 2 * delta, 0, 255)
+        if mse(img, noisy1) == 0 or mse(img, noisy2) == 0:
+            return
+        if mse(img, noisy2) > mse(img, noisy1):
+            assert psnr(img, noisy2) < psnr(img, noisy1)
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mae(np.zeros((2, 2)), np.full((2, 2), 3.0)) == 3.0
+
+    @given(_images)
+    def test_mae_le_rmse(self, img):
+        other = np.roll(img, 1)
+        assert mae(img, other) <= math.sqrt(mse(img, other)) + 1e-12
+
+
+class TestEntropy:
+    def test_constant_image_zero_entropy(self):
+        assert entropy_bits(np.full((8, 8), 7)) == 0.0
+
+    def test_uniform_two_levels_one_bit(self):
+        data = np.array([0, 1] * 32)
+        assert entropy_bits(data) == pytest.approx(1.0)
+
+    def test_upper_bound_8bit(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=4096).astype(np.uint8)
+        assert entropy_bits(data) <= 8.0
+
+
+class TestRate:
+    def test_known_value(self):
+        assert rate_bpp(1024, 64, 64) == pytest.approx(2.0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            rate_bpp(10, 0, 5)

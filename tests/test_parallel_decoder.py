@@ -1,0 +1,53 @@
+"""decode_image(n_workers=...) is bit-identical to serial decoding."""
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecParams, decode_image, encode_image
+from repro.image import SyntheticSpec, synthetic_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(SyntheticSpec(96, 96, "mix", seed=70))
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+class TestParallelDecode:
+    def test_lossless_identical(self, image, workers):
+        res = encode_image(image, CodecParams(filter_name="5/3", levels=3, cb_size=16))
+        serial = decode_image(res.data)
+        par = decode_image(res.data, n_workers=workers)
+        assert np.array_equal(serial, par)
+        assert np.array_equal(par, image)
+
+    def test_lossy_layered_identical(self, image, workers):
+        res = encode_image(
+            image,
+            CodecParams(levels=3, base_step=1 / 64, cb_size=16, target_bpp=(0.5, 2.0)),
+        )
+        for layer in (0, 1):
+            serial = decode_image(res.data, max_layer=layer)
+            par = decode_image(res.data, max_layer=layer, n_workers=workers)
+            assert np.array_equal(serial, par)
+
+    def test_tiled_color_identical(self, image, workers):
+        rgb = np.stack([image, np.roll(image, 7), image[::-1]], axis=2)
+        res = encode_image(
+            rgb, CodecParams(filter_name="5/3", levels=2, cb_size=16, tile_size=48)
+        )
+        serial = decode_image(res.data)
+        par = decode_image(res.data, n_workers=workers)
+        assert np.array_equal(serial, par)
+
+    def test_roi_identical(self, image, workers):
+        mask = np.zeros_like(image, dtype=bool)
+        mask[30:60, 30:60] = True
+        res = encode_image(
+            image,
+            CodecParams(levels=3, base_step=1 / 64, cb_size=16, target_bpp=(0.4,)),
+            roi_mask=mask,
+        )
+        assert np.array_equal(
+            decode_image(res.data), decode_image(res.data, n_workers=workers)
+        )

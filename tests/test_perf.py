@@ -1,0 +1,175 @@
+"""Performance model: work accounting, cost simulation, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    DEFAULT_WORK_PARAMS,
+    PipelineModel,
+    Workload,
+    measure_pixel_stats,
+    scaled_workload,
+    simulate_encode,
+    workload_from_encode_result,
+)
+from repro.perf.workmodel import dwt_sweep_task, split_sweep, t1_block_task
+from repro.smp import INTEL_SMP, SGI_POWER_CHALLENGE, Task
+from repro.wavelet import FILTER_9_7
+from repro.wavelet.strategies import VerticalStrategy, plan_vertical_filter
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    """Paper-scale-ish workload from a real small encode."""
+    from repro.codec import CodecParams, encode_image
+    from repro.image import SyntheticSpec, synthetic_image
+
+    img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=0))
+    res = encode_image(img, CodecParams(levels=3, base_step=1 / 64, cb_size=16))
+    stats = measure_pixel_stats(res)
+    return scaled_workload(1024, 1024, stats)
+
+
+class TestWorkModel:
+    def test_sweep_task_costs_positive(self):
+        sw = plan_vertical_filter(256, 256, 1, FILTER_9_7)
+        task = dwt_sweep_task(sw, FILTER_9_7, INTEL_SMP, DEFAULT_WORK_PARAMS, "v")
+        assert task.ops > 0 and task.l1_misses > 0 and task.l2_misses > 0
+        assert task.l2_misses <= task.l1_misses  # L2 sees only L1 misses
+
+    def test_split_preserves_total(self):
+        task = Task("x", ops=1000, l1_misses=100, l2_misses=10)
+        parts = split_sweep(task, 4)
+        assert len(parts) == 4
+        assert sum(t.ops for cpu in parts for t in cpu) == pytest.approx(1000)
+        assert sum(t.l2_misses for cpu in parts for t in cpu) == pytest.approx(10)
+
+    def test_t1_task_scales_with_decisions(self):
+        a = t1_block_task(1000, 4096, 10, INTEL_SMP, DEFAULT_WORK_PARAMS, "a")
+        b = t1_block_task(2000, 4096, 10, INTEL_SMP, DEFAULT_WORK_PARAMS, "b")
+        assert b.ops > a.ops
+
+    def test_params_scaled(self):
+        scaled = DEFAULT_WORK_PARAMS.scaled(0.8)
+        assert scaled.dwt_ops_per_sample == pytest.approx(
+            0.8 * DEFAULT_WORK_PARAMS.dwt_ops_per_sample
+        )
+        assert scaled.fork_join_ops == DEFAULT_WORK_PARAMS.fork_join_ops
+
+    def test_workload_properties(self, workload):
+        assert workload.samples == 1024 * 1024
+        assert workload.total_decisions > 0
+        assert workload.total_passes > 0
+        assert len(workload.block_work) > 100
+
+
+class TestCalibration:
+    def test_stats_from_real_encode(self, encoded_medium):
+        stats = measure_pixel_stats(encoded_medium)
+        assert 1.0 < stats.decisions_per_sample < 40.0
+        assert stats.bytes_per_sample > 0
+
+    def test_workload_from_encode_result(self, encoded_medium):
+        wl = workload_from_encode_result(encoded_medium)
+        assert wl.samples == 128 * 128
+        assert wl.total_decisions == sum(
+            r.decisions for r in encoded_medium.blocks
+        )
+
+    def test_scaled_workload_linear_in_pixels(self, encoded_medium):
+        stats = measure_pixel_stats(encoded_medium)
+        small = scaled_workload(512, 512, stats)
+        big = scaled_workload(1024, 1024, stats)
+        ratio = big.total_decisions / max(1, small.total_decisions)
+        assert 3.0 < ratio < 5.5  # ~4x pixels
+
+    def test_scaled_workload_deterministic(self, encoded_medium):
+        stats = measure_pixel_stats(encoded_medium)
+        a = scaled_workload(512, 512, stats, seed=3)
+        b = scaled_workload(512, 512, stats, seed=3)
+        assert a.block_work == b.block_work
+
+    def test_block_jitter_varies(self, encoded_medium):
+        stats = measure_pixel_stats(encoded_medium)
+        wl = scaled_workload(512, 512, stats)
+        full = [d for d, s, _ in wl.block_work if s == 64 * 64]
+        assert len(set(full)) > 1  # not all blocks equal
+
+
+class TestSimulation:
+    def test_stage_names_complete(self, workload):
+        bd = simulate_encode(workload, INTEL_SMP, 1)
+        stages = bd.figure3_stages()
+        for name in (
+            "image I/O",
+            "pipeline setup",
+            "inter-component transform",
+            "intra-component transform",
+            "quantization",
+            "tier-1 coding",
+            "R/D allocation",
+            "tier-2 coding",
+            "bitstream I/O",
+        ):
+            assert name in stages and stages[name] > 0
+
+    def test_deterministic(self, workload):
+        a = simulate_encode(workload, INTEL_SMP, 4, VerticalStrategy.NAIVE)
+        b = simulate_encode(workload, INTEL_SMP, 4, VerticalStrategy.NAIVE)
+        assert a.total_ms == b.total_ms
+
+    def test_parallel_not_slower_not_superlinear(self, workload):
+        """Same strategy: 1 <= speedup <= n_cpus."""
+        t1 = simulate_encode(workload, INTEL_SMP, 1, VerticalStrategy.NAIVE)
+        t4 = simulate_encode(workload, INTEL_SMP, 4, VerticalStrategy.NAIVE)
+        speedup = t1.total_ms / t4.total_ms
+        assert 1.0 <= speedup <= 4.0
+
+    def test_aggregated_never_slower(self, workload):
+        for n in (1, 4):
+            naive = simulate_encode(workload, INTEL_SMP, n, VerticalStrategy.NAIVE)
+            agg = simulate_encode(workload, INTEL_SMP, n, VerticalStrategy.AGGREGATED)
+            assert agg.total_ms <= naive.total_ms
+
+    def test_padded_between_naive_and_aggregated(self, workload):
+        naive = simulate_encode(workload, INTEL_SMP, 1, VerticalStrategy.NAIVE)
+        padded = simulate_encode(workload, INTEL_SMP, 1, VerticalStrategy.PADDED)
+        agg = simulate_encode(workload, INTEL_SMP, 1, VerticalStrategy.AGGREGATED)
+        assert agg.vertical_ms() <= padded.vertical_ms() <= naive.vertical_ms()
+
+    def test_sgi_slower_per_cpu(self, workload):
+        intel = simulate_encode(workload, INTEL_SMP, 1)
+        sgi = simulate_encode(workload, SGI_POWER_CHALLENGE, 1)
+        assert sgi.total_ms > intel.total_ms
+
+    def test_serial_stages_cpu_invariant(self, workload):
+        t1 = simulate_encode(workload, INTEL_SMP, 1)
+        t4 = simulate_encode(workload, INTEL_SMP, 4)
+        assert t1.stage_ms["bitstream I/O"] == pytest.approx(
+            t4.stage_ms["bitstream I/O"]
+        )
+        assert t1.stage_ms["R/D allocation"] == pytest.approx(
+            t4.stage_ms["R/D allocation"]
+        )
+
+    def test_disable_parallel_stages(self, workload):
+        all_serial = simulate_encode(
+            workload, INTEL_SMP, 4, parallel_dwt=False, parallel_t1=False
+        )
+        serial = simulate_encode(workload, INTEL_SMP, 1)
+        assert all_serial.total_ms == pytest.approx(serial.total_ms, rel=0.01)
+
+    def test_pipeline_model_wrapper(self, workload):
+        model = PipelineModel(INTEL_SMP)
+        bd = model.simulate(workload, n_cpus=2)
+        assert bd.n_cpus == 2
+        assert bd.total_ms > 0
+
+    def test_invalid_cpus(self, workload):
+        with pytest.raises(ValueError):
+            simulate_encode(workload, INTEL_SMP, 0)
+
+    def test_bus_bound_phase_flagged(self, workload):
+        bd = simulate_encode(workload, INTEL_SMP, 4, VerticalStrategy.NAIVE)
+        vertical_phases = [p for p in bd.run.phases if "vertical" in p.name]
+        assert any(p.bus_bound for p in vertical_phases)

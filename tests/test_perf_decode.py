@@ -1,0 +1,73 @@
+"""Decoder-pipeline simulation (extension study support)."""
+
+import pytest
+
+from repro.experiments.common import standard_workload
+from repro.perf import simulate_decode, simulate_encode
+from repro.smp import INTEL_SMP, SGI_POWER_CHALLENGE
+from repro.wavelet.strategies import VerticalStrategy
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return standard_workload(1024, quick=True)
+
+
+class TestSimulateDecode:
+    def test_stage_names(self, wl):
+        bd = simulate_decode(wl, INTEL_SMP, 1)
+        stages = bd.figure3_stages()
+        for name in (
+            "bitstream I/O",
+            "tier-2 coding",
+            "tier-1 coding",
+            "quantization",
+            "intra-component transform",
+            "image I/O",
+        ):
+            assert name in stages and stages[name] > 0
+        # Decoder has no rate allocation.
+        assert "R/D allocation" not in stages
+
+    def test_idwt_has_same_pathology(self, wl):
+        bd = simulate_decode(wl, INTEL_SMP, 1, VerticalStrategy.NAIVE)
+        assert bd.vertical_ms() > 3 * bd.horizontal_ms()
+
+    def test_aggregated_fixes_decode(self, wl):
+        naive = simulate_decode(wl, INTEL_SMP, 1, VerticalStrategy.NAIVE)
+        agg = simulate_decode(wl, INTEL_SMP, 1, VerticalStrategy.AGGREGATED)
+        assert agg.vertical_ms() < naive.vertical_ms() / 3
+
+    def test_speedup_bounds(self, wl):
+        d1 = simulate_decode(wl, INTEL_SMP, 1)
+        d4 = simulate_decode(wl, INTEL_SMP, 4)
+        assert 1.0 <= d1.total_ms / d4.total_ms <= 4.0
+
+    def test_deterministic(self, wl):
+        a = simulate_decode(wl, SGI_POWER_CHALLENGE, 8)
+        b = simulate_decode(wl, SGI_POWER_CHALLENGE, 8)
+        assert a.total_ms == b.total_ms
+
+    def test_decode_cheaper_than_encode(self, wl):
+        """No R/D search, no encoder-side setup: decode < encode serially."""
+        enc = simulate_encode(wl, INTEL_SMP, 1)
+        dec = simulate_decode(wl, INTEL_SMP, 1)
+        assert dec.total_ms < enc.total_ms
+
+    def test_serial_stages_cpu_invariant(self, wl):
+        d1 = simulate_decode(wl, INTEL_SMP, 1)
+        d4 = simulate_decode(wl, INTEL_SMP, 4)
+        assert d1.stage_ms["tier-2 coding"] == pytest.approx(
+            d4.stage_ms["tier-2 coding"]
+        )
+
+    def test_invalid_cpus(self, wl):
+        with pytest.raises(ValueError):
+            simulate_decode(wl, INTEL_SMP, 0)
+
+    def test_disable_parallel_stages(self, wl):
+        serial = simulate_decode(wl, INTEL_SMP, 1)
+        pinned = simulate_decode(
+            wl, INTEL_SMP, 4, parallel_idwt=False, parallel_t1=False
+        )
+        assert pinned.total_ms == pytest.approx(serial.total_ms, rel=0.01)

@@ -1,0 +1,108 @@
+"""Dead-zone quantizer properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import DeadzoneQuantizer, dequantize, quantize, subband_step_size
+from repro.wavelet import dwt2d
+
+_coeff_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+
+
+class TestQuantize:
+    @given(_coeff_arrays, st.floats(0.01, 100.0))
+    def test_reconstruction_error_bounded(self, coeffs, step):
+        """Dequantized values land within one step of the original
+        (dead-zone: within 2 steps around zero)."""
+        q = quantize(coeffs, step)
+        rec = dequantize(q, step)
+        err = np.abs(rec - coeffs)
+        assert np.all(err <= step * (1.0 + 1e-9))
+
+    @given(_coeff_arrays, st.floats(0.01, 100.0))
+    def test_sign_preserved(self, coeffs, step):
+        q = quantize(coeffs, step)
+        rec = dequantize(q, step)
+        nz = q != 0
+        assert np.all(np.sign(rec[nz]) == np.sign(coeffs[nz]))
+
+    def test_dead_zone_width(self):
+        """Values inside (-step, step) quantize to zero."""
+        step = 2.0
+        coeffs = np.array([[-1.99, -0.5, 0.0, 0.5, 1.99]])
+        assert np.all(quantize(coeffs, step) == 0)
+        assert quantize(np.array([[2.0]]), step)[0, 0] == 1
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((2, 2)), 0.0)
+        with pytest.raises(ValueError):
+            dequantize(np.zeros((2, 2), dtype=np.int32), -1.0)
+
+    def test_truncated_plane_reconstruction(self):
+        """With last_plane=p, reconstruction is mid-interval of 2^p."""
+        step = 1.0
+        values = np.array([[4]], dtype=np.int64)  # known bits: 100
+        rec = dequantize(values, step, last_plane=2)
+        assert rec[0, 0] == pytest.approx(6.0)  # 4 + 0.5*4
+
+    def test_zero_stays_zero_when_truncated(self):
+        rec = dequantize(np.zeros((3, 3), dtype=np.int64), 1.0, last_plane=5)
+        assert np.all(rec == 0)
+
+
+class TestStepSizes:
+    def test_steps_positive(self):
+        for level in (1, 2, 3):
+            for orient in ("LL", "HL", "LH", "HH"):
+                if orient == "LL" and level < 3:
+                    continue
+                assert subband_step_size(0.5, "9/7", level, orient) > 0
+
+    def test_high_gain_bands_get_smaller_steps(self):
+        """LL has the largest synthesis gain, hence the finest step."""
+        ll = subband_step_size(1.0, "9/7", 2, "LL")
+        hh = subband_step_size(1.0, "9/7", 1, "HH")
+        assert ll < hh
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            subband_step_size(0.0, "9/7", 1, "HH")
+
+
+class TestQuantizerObject:
+    def test_quantize_all_bands(self):
+        rng = np.random.default_rng(0)
+        img = rng.normal(scale=40, size=(32, 32))
+        sb = dwt2d(img, 3, "9/7")
+        quant = DeadzoneQuantizer(0.25, "9/7")
+        qbands = quant.quantize_subbands(sb)
+        assert set(qbands) == {(3, "LL")} | {
+            (lev, o) for lev in (1, 2, 3) for o in ("HL", "LH", "HH")
+        }
+        # round-trip each band within its step
+        for (lev, o), q in qbands.items():
+            rec = quant.dequantize_band(q, lev, o)
+            step = quant.step_for(lev, o)
+            assert np.all(np.abs(rec - sb.band(lev, o)) <= step + 1e-9)
+
+    def test_finer_base_step_means_less_error(self):
+        rng = np.random.default_rng(1)
+        img = rng.normal(scale=40, size=(32, 32))
+        sb = dwt2d(img, 2, "9/7")
+        errs = []
+        for base in (1.0, 0.25, 1 / 16):
+            quant = DeadzoneQuantizer(base, "9/7")
+            total = 0.0
+            for (lev, o), q in quant.quantize_subbands(sb).items():
+                rec = quant.dequantize_band(q, lev, o)
+                total += float(np.sum((rec - sb.band(lev, o)) ** 2))
+            errs.append(total)
+        assert errs[0] > errs[1] > errs[2]

@@ -1,0 +1,91 @@
+"""Report generation, Gantt timelines and parallel block decoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import parallel_decode_blocks, parallel_encode_blocks
+from repro.experiments.common import standard_workload
+from repro.perf import simulate_encode
+from repro.smp import INTEL_SMP
+
+
+class TestGantt:
+    def test_gantt_renders(self):
+        bd = simulate_encode(standard_workload(256, True), INTEL_SMP, 4)
+        text = bd.run.gantt()
+        assert "total:" in text
+        assert "tier-1 coding" in text
+        assert "imb=" in text
+        # Bus-bound phases are flagged.
+        assert "*" in text
+
+    def test_gantt_bar_lengths_proportional(self):
+        bd = simulate_encode(standard_workload(256, True), INTEL_SMP, 1)
+        lines = bd.run.gantt(width=40).splitlines()[1:]
+        bars = {ln.split("|")[0].strip(): ln.split("|")[1].count("#") for ln in lines}
+        assert bars["tier-1 coding"] >= bars["image I/O"]
+
+
+class TestReportGenerator:
+    def test_generate_quick_produces_markdown(self, tmp_path):
+        from repro.experiments.report import generate
+
+        text = generate(quick=True)
+        assert text.startswith("# EXPERIMENTS")
+        # All experiments present with status.
+        from repro.experiments import all_experiments
+
+        for name in all_experiments():
+            assert f"## {name}" in text
+        assert "FAIL" not in text.split("\n\n")[0]
+
+    def test_report_main_writes_file(self, tmp_path):
+        from repro.experiments.report import main
+
+        out = tmp_path / "E.md"
+        assert main(["--quick", "-o", str(out)]) == 0
+        assert out.read_text().startswith("# EXPERIMENTS")
+
+
+class TestFigureCli:
+    def test_render_all_writes_svgs(self, tmp_path, monkeypatch):
+        """Render the two cheapest (pure-simulation) figures to disk."""
+        from repro.figures import render_figure
+
+        for name in ("fig03", "fig08"):
+            path = tmp_path / f"{name}.svg"
+            path.write_text(render_figure(name, quick=True))
+            assert path.read_text().startswith("<svg")
+
+
+class TestParallelDecodeBlocks:
+    def test_roundtrip_multithreaded(self):
+        rng = np.random.default_rng(3)
+        blocks = [
+            (np.round(rng.laplace(0, 25, size=(10, 14))).astype(np.int64), "HH")
+            for _ in range(9)
+        ]
+        encs = parallel_encode_blocks(blocks, n_workers=4)
+        decode_in = [(e.data, e.shape, "HH", e.n_planes, None) for e in encs]
+        outs = parallel_decode_blocks(decode_in, n_workers=4)
+        for (vals, last_plane), (coeffs, _) in zip(outs, blocks):
+            assert np.array_equal(vals, coeffs)
+            assert last_plane == 0 or coeffs.max() == 0
+
+    def test_truncated_blocks(self):
+        rng = np.random.default_rng(4)
+        coeffs = np.round(rng.laplace(0, 25, size=(16, 16))).astype(np.int64)
+        enc = parallel_encode_blocks([(coeffs, "LL")])[0]
+        k = max(1, enc.n_passes // 2)
+        n_bytes = enc.passes[k - 1].rate_bytes
+        (vals, _), = parallel_decode_blocks(
+            [(enc.data[:n_bytes], enc.shape, "LL", enc.n_planes, k)], n_workers=2
+        )
+        err_full = np.sum((coeffs - 0) ** 2)
+        err = np.sum((coeffs - vals) ** 2)
+        assert err <= err_full
+
+    def test_empty_and_invalid(self):
+        assert parallel_decode_blocks([], n_workers=2) == []
+        with pytest.raises(ValueError):
+            parallel_decode_blocks([], n_workers=0)

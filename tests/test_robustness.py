@@ -1,0 +1,101 @@
+"""Robustness: corrupted/truncated inputs fail cleanly, 16-bit depth works."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import CodecParams, decode_image, encode_image
+from repro.image import SyntheticSpec, psnr, synthetic_image
+
+
+@pytest.fixture(scope="module")
+def stream():
+    img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=50))
+    res = encode_image(
+        img, CodecParams(levels=3, base_step=1 / 64, cb_size=16, target_bpp=(0.5, 2.0))
+    )
+    return img, res.data
+
+
+class TestCorruption:
+    def test_truncated_header_raises(self, stream):
+        _, data = stream
+        for cut in (0, 2, 10):
+            with pytest.raises((ValueError, IndexError, Exception)):
+                decode_image(data[:cut])
+
+    def test_flipped_magic_raises(self, stream):
+        _, data = stream
+        with pytest.raises(ValueError):
+            decode_image(b"XXXX" + data[4:])
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15)
+    def test_random_bytes_never_hang(self, seed):
+        """Garbage input must raise, not loop or crash the interpreter."""
+        rng = np.random.default_rng(seed)
+        junk = bytes(rng.integers(0, 256, size=int(rng.integers(1, 200))))
+        with pytest.raises(Exception):
+            decode_image(junk)
+
+    def test_bitflip_in_body_decodes_or_raises(self, stream):
+        """Flipping payload bits must not hang; image may be wrong."""
+        img, data = stream
+        arr = bytearray(data)
+        # flip a byte deep in the packet bodies
+        pos = len(arr) * 3 // 4
+        arr[pos] ^= 0xFF
+        try:
+            rec = decode_image(bytes(arr))
+            assert rec.shape == img.shape
+        except Exception:
+            pass  # clean failure is acceptable
+
+
+class TestHighBitDepth:
+    def test_12bit_lossless(self):
+        rng = np.random.default_rng(51)
+        base = synthetic_image(SyntheticSpec(48, 48, "mix", seed=51)).astype(np.uint16)
+        img = (base.astype(np.uint32) * 16).clip(0, 4095).astype(np.uint16)
+        res = encode_image(
+            img, CodecParams(filter_name="5/3", levels=3, cb_size=16, bit_depth=12)
+        )
+        rec = decode_image(res.data)
+        assert rec.dtype == np.uint16
+        assert np.array_equal(rec, img)
+
+    def test_16bit_lossy(self):
+        base = synthetic_image(SyntheticSpec(48, 48, "mix", seed=52)).astype(np.float64)
+        img = (base * 257).astype(np.uint16)
+        res = encode_image(
+            img, CodecParams(levels=3, base_step=1 / 16, cb_size=16, bit_depth=16)
+        )
+        rec = decode_image(res.data)
+        assert rec.dtype == np.uint16
+        assert psnr(img, rec, peak=65535.0) > 40
+
+
+class TestFuzzCodecParams:
+    @given(st.data())
+    @settings(max_examples=10)
+    def test_random_valid_params_roundtrip(self, data):
+        side = data.draw(st.sampled_from([16, 24, 33]))
+        levels = data.draw(st.integers(0, 3))
+        cb = data.draw(st.sampled_from([8, 16]))
+        filt = data.draw(st.sampled_from(["5/3", "9/7"]))
+        tile = data.draw(st.sampled_from([0, 16]))
+        img = synthetic_image(SyntheticSpec(side, side, "mix", seed=side))
+        params = CodecParams(
+            levels=levels,
+            filter_name=filt,
+            cb_size=cb,
+            base_step=1 / 128,
+            tile_size=tile,
+        )
+        rec = decode_image(encode_image(img, params).data)
+        assert rec.shape == img.shape
+        if filt == "5/3":
+            assert np.array_equal(rec, img)
+        else:
+            assert psnr(img, rec) > 38

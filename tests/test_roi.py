@@ -1,0 +1,123 @@
+"""Region-of-interest (max-shift) coding."""
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecParams, decode_image, encode_image
+from repro.codec.roi import (
+    apply_max_shift,
+    band_roi_mask,
+    remove_max_shift,
+    roi_shift_for,
+)
+from repro.image import SyntheticSpec, psnr, synthetic_image
+
+
+def _masked_psnr(a, b, mask):
+    d = (a.astype(float) - b.astype(float))[mask]
+    return 10 * np.log10(255.0**2 / np.mean(d * d))
+
+
+class TestMaskMapping:
+    def test_band_mask_covers_footprint(self):
+        mask = np.zeros((64, 64), dtype=bool)
+        mask[16:32, 16:32] = True
+        bm = band_roi_mask(mask, level=2, band_shape=(16, 16))
+        # footprint 16..32 maps to coefficients 4..8, plus 1 dilation
+        assert bm[5, 5]
+        assert bm[3, 4] and bm[4, 3]  # 4-connected dilation
+        assert not bm[12, 12]
+
+    def test_full_mask_gives_full_band(self):
+        mask = np.ones((32, 32), dtype=bool)
+        assert band_roi_mask(mask, 1, (16, 16)).all()
+
+    def test_empty_mask_gives_empty_band(self):
+        mask = np.zeros((32, 32), dtype=bool)
+        assert not band_roi_mask(mask, 1, (16, 16)).any()
+
+    def test_empty_band_shape(self):
+        assert band_roi_mask(np.ones((8, 8), bool), 1, (0, 4)).size == 0
+
+
+class TestShiftMath:
+    def test_shift_separates_roi_from_background(self):
+        rng = np.random.default_rng(0)
+        band = rng.integers(-100, 100, size=(8, 8)).astype(np.int64)
+        roi = np.zeros((8, 8), dtype=bool)
+        roi[2:4, 2:4] = True
+        qbands = {(1, "HL"): band}
+        masks = {(1, "HL"): roi}
+        s = roi_shift_for(qbands, masks)
+        shifted = apply_max_shift(qbands, masks, s)[(1, "HL")]
+        bg_max = np.abs(shifted[~roi]).max()
+        roi_nonzero = np.abs(shifted[roi])[band[roi] != 0]
+        if roi_nonzero.size:
+            assert roi_nonzero.min() > bg_max
+
+    def test_remove_is_inverse_on_full_values(self):
+        rng = np.random.default_rng(1)
+        band = rng.integers(-100, 100, size=(8, 8)).astype(np.int64)
+        roi = rng.random((8, 8)) < 0.3
+        qbands = {(1, "HH"): band}
+        masks = {(1, "HH"): roi}
+        s = roi_shift_for(qbands, masks)
+        shifted = apply_max_shift(qbands, masks, s)[(1, "HH")]
+        assert np.array_equal(remove_max_shift(shifted, s), band)
+
+    def test_zero_shift_noop(self):
+        v = np.array([[1, -2]], dtype=np.int64)
+        assert remove_max_shift(v, 0) is v
+
+
+class TestRoiCodec:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        img = synthetic_image(SyntheticSpec(128, 128, "mix", seed=6))
+        mask = np.zeros((128, 128), dtype=bool)
+        mask[40:88, 40:88] = True
+        return img, mask
+
+    def test_lossless_with_roi_bit_exact(self, setup):
+        img, mask = setup
+        res = encode_image(
+            img, CodecParams(filter_name="5/3", levels=3, cb_size=16), roi_mask=mask
+        )
+        assert np.array_equal(decode_image(res.data), img)
+
+    def test_roi_region_prioritized_at_low_rate(self, setup):
+        img, mask = setup
+        params = CodecParams(levels=3, base_step=1 / 64, cb_size=16, target_bpp=(0.4,))
+        dec_roi = decode_image(encode_image(img, params, roi_mask=mask).data)
+        dec_no = decode_image(encode_image(img, params).data)
+        inner = mask.copy()
+        inner[:44] = inner[84:] = False
+        inner[:, :44] = inner[:, 84:] = False
+        assert _masked_psnr(img, dec_roi, inner) > _masked_psnr(img, dec_no, inner) + 1.0
+        # ...at the expense of the background.
+        assert _masked_psnr(img, dec_roi, ~mask) < _masked_psnr(img, dec_no, ~mask)
+
+    def test_roi_shift_in_codestream(self, setup):
+        img, mask = setup
+        from repro.tier2.codestream import read_codestream
+
+        res = encode_image(
+            img, CodecParams(levels=2, base_step=1 / 64, cb_size=16), roi_mask=mask
+        )
+        assert read_codestream(res.data).params.roi_shift > 0
+
+    def test_mask_shape_mismatch_rejected(self, setup):
+        img, _ = setup
+        with pytest.raises(ValueError):
+            encode_image(img, CodecParams(levels=2), roi_mask=np.ones((4, 4), bool))
+
+    def test_full_mask_equals_no_roi_quality(self, setup):
+        """An all-ROI mask has zero background: shift is 0, nothing changes."""
+        img, _ = setup
+        mask = np.ones_like(img, dtype=bool)
+        params = CodecParams(levels=3, base_step=1 / 64, cb_size=16)
+        res = encode_image(img, params, roi_mask=mask)
+        from repro.tier2.codestream import read_codestream
+
+        assert read_codestream(res.data).params.roi_shift == 0
+        assert psnr(img, decode_image(res.data)) > 45

@@ -1,0 +1,174 @@
+"""Simulated SMP: machines, tasks, schedulers, barrier executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smp import (
+    INTEL_SMP,
+    SGI_POWER_CHALLENGE,
+    SimulatedSMP,
+    Task,
+    get_machine,
+    list_schedule,
+    load_imbalance,
+    longest_processing_time,
+    round_robin,
+    schedule_makespan,
+    static_block_partition,
+    staggered_round_robin,
+)
+
+
+class TestMachines:
+    def test_presets_lookup(self):
+        assert get_machine("intel_smp") is INTEL_SMP
+        assert get_machine("sgi_power_challenge") is SGI_POWER_CHALLENGE
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_machine("cray")
+
+    def test_cycles_ms_roundtrip(self):
+        ms = INTEL_SMP.cycles_to_ms(INTEL_SMP.ms_to_cycles(123.0))
+        assert ms == pytest.approx(123.0)
+
+    def test_paper_clock_rates(self):
+        assert INTEL_SMP.clock_mhz == 500.0
+        assert SGI_POWER_CHALLENGE.clock_mhz == 194.0
+        assert INTEL_SMP.max_cpus == 4
+        assert SGI_POWER_CHALLENGE.max_cpus == 20
+
+    def test_pathology_geometry(self):
+        """A 4096-wide float32 row maps columns into one L1 set."""
+        assert 16384 % (INTEL_SMP.l1.num_sets * INTEL_SMP.l1.line_size) == 0
+
+
+class TestTask:
+    def test_cycles(self):
+        t = Task("x", ops=100, l1_misses=10, l2_misses=5)
+        expected = (
+            100 * INTEL_SMP.cycles_per_op
+            + 10 * INTEL_SMP.l1_miss_penalty
+            + 5 * INTEL_SMP.l2_miss_penalty
+        )
+        assert t.cycles(INTEL_SMP) == pytest.approx(expected)
+
+    def test_scaled(self):
+        t = Task("x", ops=100, l1_misses=10, l2_misses=4).scaled(0.25)
+        assert t.ops == 25 and t.l1_misses == 2.5 and t.l2_misses == 1
+
+
+class TestSchedulers:
+    @given(st.integers(0, 50), st.integers(1, 8))
+    def test_static_partition_covers(self, n, p):
+        items = list(range(n))
+        parts = static_block_partition(items, p)
+        assert len(parts) == p
+        assert [x for part in parts for x in part] == items
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(0, 50), st.integers(1, 8))
+    def test_round_robin_covers(self, n, p):
+        items = list(range(n))
+        parts = round_robin(items, p)
+        assert sorted(x for part in parts for x in part) == items
+
+    @given(st.integers(0, 50), st.integers(1, 8))
+    def test_staggered_covers(self, n, p):
+        items = list(range(n))
+        parts = staggered_round_robin(items, p)
+        assert sorted(x for part in parts for x in part) == items
+
+    def test_staggered_serpentine_order(self):
+        parts = staggered_round_robin(list(range(8)), 4)
+        assert parts == [[0, 7], [1, 6], [2, 5], [3, 4]]
+
+    def test_staggered_balances_monotone_weights(self):
+        """Linearly growing costs: serpentine beats plain round robin."""
+        items = list(range(64))
+        weight = lambda x: float(x + 1)
+        rr = load_imbalance(round_robin(items, 4), weight)
+        stag = load_imbalance(staggered_round_robin(items, 4), weight)
+        assert stag < rr
+        assert stag == pytest.approx(1.0, abs=0.02)
+
+    def test_lpt_near_optimal(self):
+        rng = np.random.default_rng(0)
+        items = list(rng.uniform(1, 100, size=50))
+        w = lambda x: x
+        lpt = load_imbalance(longest_processing_time(items, 4, w), w)
+        assert lpt < 1.1
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=60), st.integers(1, 6))
+    def test_list_schedule_greedy_bound(self, weights, p):
+        """Graham's bound: list scheduling <= 2 - 1/p of optimal."""
+        w = lambda x: x
+        parts = list_schedule(weights, p, w)
+        makespan = schedule_makespan(parts, w)
+        lower = max(sum(weights) / p, max(weights))
+        assert makespan <= (2 - 1 / p) * lower + 1e-9
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            static_block_partition([1], 0)
+
+    def test_imbalance_of_empty(self):
+        assert load_imbalance([[], []], lambda x: 1.0) == 1.0
+
+
+class TestExecutor:
+    def _task(self, ops, l2=0):
+        return Task("t", ops=ops, l2_misses=l2)
+
+    def test_serial_phase_time(self):
+        smp = SimulatedSMP(INTEL_SMP, 1)
+        res = smp.run_serial_phase("s", [self._task(1000)])
+        assert res.cycles == pytest.approx(1000 * INTEL_SMP.cycles_per_op)
+
+    def test_parallel_phase_is_max(self):
+        smp = SimulatedSMP(INTEL_SMP, 2)
+        res = smp.run_phase("p", [[self._task(1000)], [self._task(400)]])
+        assert res.cycles == pytest.approx(1000 * INTEL_SMP.cycles_per_op)
+        assert res.imbalance > 1.0
+
+    def test_bus_floor_applies(self):
+        smp = SimulatedSMP(INTEL_SMP, 4)
+        tasks = [[self._task(10, l2=100000)] for _ in range(4)]
+        res = smp.run_phase("busy", tasks)
+        assert res.bus_bound
+        assert res.cycles >= INTEL_SMP.bus.transfer_cycles(400000)
+
+    def test_too_many_cpus_rejected(self):
+        smp = SimulatedSMP(INTEL_SMP, 2)
+        with pytest.raises(ValueError):
+            smp.run_phase("x", [[], [], []])
+
+    def test_run_accumulates_and_stage_ms(self):
+        smp = SimulatedSMP(INTEL_SMP, 1)
+        res = smp.run([("a", [[self._task(500)]]), ("a", [[self._task(500)]]),
+                       ("b", [[self._task(250)]])])
+        ms = res.stage_ms()
+        assert ms["a"] == pytest.approx(4 * ms["b"])  # 2 phases x 2x ops
+        assert res.total_ms == pytest.approx(sum(ms.values()))
+
+    def test_determinism(self):
+        smp = SimulatedSMP(SGI_POWER_CHALLENGE, 8)
+        phases = [("x", [[self._task(100 + i, l2=i * 10)] for i in range(8)])]
+        a = smp.run(phases).total_cycles
+        b = smp.run(phases).total_cycles
+        assert a == b
+
+    def test_work_conservation(self):
+        """Makespan x P >= total work."""
+        smp = SimulatedSMP(INTEL_SMP, 4)
+        tasks = [[self._task(100 * (i + 1))] for i in range(4)]
+        res = smp.run_phase("w", tasks)
+        total = sum(sum(t.cycles(INTEL_SMP) for t in cpu) for cpu in tasks)
+        assert res.cycles * 4 >= total
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedSMP(INTEL_SMP, 0)

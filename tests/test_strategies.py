@@ -1,0 +1,101 @@
+"""Filtering strategies: plan geometry and numerical equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wavelet import FILTER_9_7, FILTER_5_3, dwt1d
+from repro.wavelet.strategies import (
+    FilterPlan,
+    VerticalStrategy,
+    filter_columns_chunked,
+    iter_column_groups,
+    plan_dwt2d,
+    plan_horizontal_filter,
+    plan_vertical_filter,
+)
+
+
+class TestChunkedEquivalence:
+    """The aggregated-columns fix is a pure memory reordering."""
+
+    @given(st.integers(2, 60), st.integers(1, 40), st.integers(1, 16))
+    def test_97_chunked_equals_full(self, n, m, chunk):
+        rng = np.random.default_rng(n * 100 + m)
+        x = rng.normal(size=(n, m))
+        l1, h1 = dwt1d(x, FILTER_9_7)
+        l2, h2 = filter_columns_chunked(x, FILTER_9_7, chunk)
+        assert np.allclose(l1, l2, atol=1e-12)
+        assert np.allclose(h1, h2, atol=1e-12)
+
+    @given(st.integers(2, 60), st.integers(1, 40), st.integers(1, 16))
+    def test_53_chunked_equals_full(self, n, m, chunk):
+        rng = np.random.default_rng(n * 100 + m)
+        x = rng.integers(-256, 256, size=(n, m))
+        l1, h1 = dwt1d(x, FILTER_5_3)
+        l2, h2 = filter_columns_chunked(x, FILTER_5_3, chunk)
+        assert np.array_equal(l1, l2)
+        assert np.array_equal(h1, h2)
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            filter_columns_chunked(np.zeros((4, 4)), FILTER_9_7, 0)
+
+
+class TestPlans:
+    def test_vertical_stride_is_full_width(self):
+        """In-place transform: the row stride never shrinks with level."""
+        for level in (1, 2, 3):
+            sw = plan_vertical_filter(256, 256, level, FILTER_9_7)
+            assert sw.row_stride_bytes == 256 * 4
+            assert sw.n_along == 256 >> (level - 1)
+
+    def test_padded_stride_not_power_of_two(self):
+        sw = plan_vertical_filter(
+            256, 256, 1, FILTER_9_7, VerticalStrategy.PADDED
+        )
+        stride_elems = sw.row_stride_bytes // sw.elem_size
+        assert stride_elems & (stride_elems - 1) != 0
+
+    def test_aggregated_width_is_cache_line(self):
+        sw = plan_vertical_filter(
+            128, 128, 1, FILTER_9_7, VerticalStrategy.AGGREGATED, elem_size=4
+        )
+        assert sw.aggregation == 8  # 32-byte line / 4-byte floats
+
+    def test_horizontal_sweep_orientation(self):
+        sw = plan_horizontal_filter(100, 60, 1, FILTER_9_7)
+        assert sw.n_along == 60 and sw.n_lines == 100
+        assert sw.column_stride_bytes == sw.elem_size
+
+    def test_vertical_column_stride(self):
+        sw = plan_vertical_filter(100, 60, 1, FILTER_9_7)
+        assert sw.column_stride_bytes == sw.row_stride_bytes
+
+    def test_plan_dwt2d_structure(self):
+        plan = plan_dwt2d(64, 64, 3, FILTER_9_7)
+        assert len(plan.sweeps) == 6
+        assert len(plan.vertical_sweeps()) == 3
+        assert len(plan.horizontal_sweeps()) == 3
+        # Per-level sizes halve.
+        v = plan.vertical_sweeps()
+        assert v[0].samples == 4 * v[1].samples == 16 * v[2].samples
+
+    def test_plan_ops_positive(self):
+        plan = plan_dwt2d(64, 64, 2, FILTER_9_7)
+        assert plan.total_ops > 0
+        for sw in plan.sweeps:
+            assert sw.ops == sw.samples * FILTER_9_7.ops_per_sample
+
+
+class TestColumnGroups:
+    def test_groups_cover_exactly(self):
+        groups = list(iter_column_groups(20, 8))
+        assert groups == [(0, 8), (8, 16), (16, 20)]
+
+    @given(st.integers(1, 100), st.integers(1, 16))
+    def test_partition_property(self, n_cols, agg):
+        groups = list(iter_column_groups(n_cols, agg))
+        covered = [c for a, b in groups for c in range(a, b)]
+        assert covered == list(range(n_cols))

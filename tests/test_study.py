@@ -1,0 +1,82 @@
+"""Study drivers and trace-generator semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.trace import (
+    aggregated_filter_trace,
+    column_filter_trace,
+    row_filter_trace,
+)
+from repro.core.study import (
+    FilteringProfile,
+    StudyConfig,
+    filtering_profile,
+    run_parallel_study,
+    serial_profile,
+)
+from repro.experiments.common import standard_workload
+from repro.smp import INTEL_SMP
+from repro.wavelet import FILTER_9_7
+from repro.wavelet.strategies import (
+    VerticalStrategy,
+    plan_horizontal_filter,
+    plan_vertical_filter,
+)
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return standard_workload(256, quick=True)
+
+
+class TestStudyDrivers:
+    def test_serial_profile_is_one_cpu(self, wl):
+        bd = serial_profile(wl, INTEL_SMP)
+        assert bd.n_cpus == 1
+
+    def test_run_parallel_study_keys(self, wl):
+        cfg = StudyConfig(machine=INTEL_SMP, cpus=(1, 2, 4))
+        out = run_parallel_study(wl, cfg)
+        assert set(out) == {1, 2, 4}
+        assert out[1].total_ms >= out[4].total_ms * 0.9
+
+    def test_filtering_profile_accessors(self, wl):
+        prof = filtering_profile(wl, INTEL_SMP, (1, 2))
+        assert isinstance(prof, FilteringProfile)
+        v = prof.vertical_series(VerticalStrategy.NAIVE, (1, 2))
+        h = prof.horizontal_series(VerticalStrategy.NAIVE, (1, 2))
+        assert len(v) == len(h) == 2
+        assert v[0] >= v[1]
+        with pytest.raises(KeyError):
+            prof.vertical(VerticalStrategy.NAIVE, 99)
+
+
+class TestTraceSemantics:
+    def test_column_trace_visits_each_column_n_passes_times(self):
+        sw = plan_vertical_filter(8, 4, 1, FILTER_9_7, elem_size=4)
+        trace = list(column_filter_trace(sw, n_passes=2))
+        # 3 accesses per row per pass per column
+        assert len(trace) == 3 * 8 * 2 * 4
+        # first accesses belong to column 0 (byte offsets % stride < elem)
+        assert all(a % (4 * 4) == 0 for a in trace[: 3 * 8 * 2])
+
+    def test_row_trace_is_sequential_within_rows(self):
+        sw = plan_horizontal_filter(4, 8, 1, FILTER_9_7, elem_size=4)
+        trace = list(row_filter_trace(sw, n_passes=1))
+        assert len(trace) == 3 * 8 * 4
+        row0 = trace[: 3 * 8]
+        assert max(row0) < sw.row_stride_bytes  # stays inside row 0
+
+    def test_aggregated_trace_touches_each_sample_once(self):
+        sw = plan_vertical_filter(8, 16, 1, FILTER_9_7, VerticalStrategy.AGGREGATED, 4)
+        trace = list(aggregated_filter_trace(sw))
+        assert len(trace) == 8 * 16  # one read per sample
+        assert len(set(trace)) == 8 * 16  # all distinct addresses
+
+    def test_aggregated_groups_are_contiguous(self):
+        sw = plan_vertical_filter(4, 16, 1, FILTER_9_7, VerticalStrategy.AGGREGATED, 4)
+        trace = list(aggregated_filter_trace(sw))
+        first_group = trace[: 4 * sw.aggregation]
+        cols = {(a % sw.row_stride_bytes) // sw.elem_size for a in first_group}
+        assert cols == set(range(sw.aggregation))

@@ -1,0 +1,82 @@
+"""Synthetic image generators: determinism, range, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.image import (
+    SyntheticSpec,
+    entropy_bits,
+    fbm_image,
+    edges_image,
+    image_for_kpixels,
+    standard_sizes_kpixels,
+    synthetic_image,
+    texture_image,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ["fbm", "edges", "texture", "mix"])
+    def test_same_seed_same_image(self, kind):
+        a = synthetic_image(SyntheticSpec(32, 48, kind, seed=3))
+        b = synthetic_image(SyntheticSpec(32, 48, kind, seed=3))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("kind", ["fbm", "edges", "texture", "mix"])
+    def test_different_seed_different_image(self, kind):
+        a = synthetic_image(SyntheticSpec(32, 32, kind, seed=1))
+        b = synthetic_image(SyntheticSpec(32, 32, kind, seed=2))
+        assert not np.array_equal(a, b)
+
+
+class TestProperties:
+    @pytest.mark.parametrize("kind", ["fbm", "edges", "texture", "mix"])
+    def test_dtype_and_shape(self, kind):
+        img = synthetic_image(SyntheticSpec(20, 33, kind, seed=0))
+        assert img.dtype == np.uint8
+        assert img.shape == (20, 33)
+
+    def test_fbm_uses_full_range(self):
+        img = fbm_image(64, 64, seed=0)
+        assert img.min() == 0 and img.max() == 255
+
+    def test_mix_has_reasonable_entropy(self):
+        img = synthetic_image(SyntheticSpec(64, 64, "mix", seed=0))
+        assert 4.0 < entropy_bits(img) <= 8.0
+
+    def test_edges_is_piecewise_constant(self):
+        img = edges_image(64, 64, seed=0)
+        # Few distinct levels compared to pixels.
+        assert len(np.unique(img)) < 64
+
+    def test_texture_not_constant(self):
+        img = texture_image(32, 32, seed=0)
+        assert img.std() > 10
+
+    def test_fbm_is_lowpass_dominated(self):
+        """1/f images concentrate energy in low frequencies."""
+        img = fbm_image(64, 64, seed=1).astype(np.float64)
+        spec = np.abs(np.fft.fft2(img - img.mean())) ** 2
+        low = spec[:8, :8].sum()
+        high = spec[24:40, 24:40].sum()
+        assert low > 10 * high
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_image(SyntheticSpec(8, 8, "nope", seed=0))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_image(SyntheticSpec(0, 8, "mix", seed=0))
+
+
+class TestPaperSizes:
+    def test_standard_sizes_present(self):
+        sizes = standard_sizes_kpixels()
+        for k in (256, 1024, 4096, 16384):
+            assert k in sizes
+
+    @pytest.mark.parametrize("kpix,side", [(256, 512), (1024, 1024), (4096, 2048)])
+    def test_kpixel_to_side(self, kpix, side):
+        img = image_for_kpixels(kpix, seed=0, kind="edges")
+        assert img.shape == (side, side)

@@ -1,0 +1,254 @@
+"""Tier-2: bit I/O, tag trees, packet headers, codestream framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tier2 import (
+    BitReader,
+    BitWriter,
+    BlockContribution,
+    Codestream,
+    CodestreamParams,
+    PacketReader,
+    PacketWriter,
+    TagTree,
+    TagTreeDecoder,
+    TilePart,
+    read_codestream,
+    write_codestream,
+)
+from repro.tier2.packet import BandState, _read_pass_count, _write_pass_count
+
+
+class TestBitIO:
+    @given(st.lists(st.integers(0, 1), max_size=200))
+    def test_bit_roundtrip(self, bits):
+        w = BitWriter()
+        for b in bits:
+            w.write_bit(b)
+        r = BitReader(w.getvalue())
+        assert [r.read_bit() for _ in bits] == bits
+
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.integers(0, 24)), max_size=50))
+    def test_bits_roundtrip(self, pairs):
+        pairs = [(v & ((1 << c) - 1) if c else 0, c) for v, c in pairs]
+        w = BitWriter()
+        for v, c in pairs:
+            w.write_bits(v, c)
+        r = BitReader(w.getvalue())
+        assert [(r.read_bits(c), c) for _, c in pairs] == pairs
+
+    @given(st.lists(st.integers(0, 40), max_size=30))
+    def test_comma_roundtrip(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_comma(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_comma() for _ in values] == values
+
+    def test_value_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(8, 3)
+
+    def test_eof(self):
+        r = BitReader(b"")
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_align(self):
+        w = BitWriter()
+        w.write_bit(1)
+        w.align()
+        assert w.getvalue() == b"\x80"
+        r = BitReader(b"\x80\xff")
+        r.read_bit()
+        r.align()
+        assert r.read_bits(8) == 0xFF
+
+
+class TestTagTree:
+    @given(st.data())
+    @settings(max_examples=30)
+    def test_layered_roundtrip(self, data):
+        h = data.draw(st.integers(1, 7))
+        w = data.draw(st.integers(1, 7))
+        vals = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 6), min_size=w, max_size=w),
+                    min_size=h,
+                    max_size=h,
+                )
+            )
+        )
+        tmax = int(vals.max()) + 2
+        tree = TagTree(vals)
+        wtr = BitWriter()
+        queries = [
+            (i, j, t)
+            for t in range(1, tmax + 1)
+            for i in range(h)
+            for j in range(w)
+        ]
+        for i, j, t in queries:
+            tree.encode_value(wtr, i, j, t)
+        dec = TagTreeDecoder(h, w)
+        rdr = BitReader(wtr.getvalue())
+        for i, j, t in queries:
+            got = dec.decode_value(rdr, i, j, t)
+            want = int(vals[i, j]) if vals[i, j] < t else None
+            assert got == want
+
+    def test_single_node(self):
+        tree = TagTree(np.array([[3]]))
+        w = BitWriter()
+        tree.encode_value(w, 0, 0, 5)
+        dec = TagTreeDecoder(1, 1)
+        assert dec.decode_value(BitReader(w.getvalue()), 0, 0, 5) == 3
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            TagTree(np.array([[-1]]))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            TagTreeDecoder(0, 3)
+
+    def test_shares_prefix_across_leaves(self):
+        """Coding one leaf makes a sibling cheaper (shared ancestors)."""
+        vals = np.zeros((2, 2), dtype=int)
+        tree = TagTree(vals)
+        w1 = BitWriter()
+        tree.encode_value(w1, 0, 0, 1)
+        first_bits = w1.bit_length()
+        tree.encode_value(w1, 0, 1, 1)
+        second_bits = w1.bit_length() - first_bits
+        assert second_bits < first_bits
+
+
+class TestPassCountCode:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 36, 37, 164])
+    def test_roundtrip_boundaries(self, n):
+        w = BitWriter()
+        _write_pass_count(w, n)
+        assert _read_pass_count(BitReader(w.getvalue())) == n
+
+    @given(st.integers(1, 164))
+    def test_roundtrip_all(self, n):
+        w = BitWriter()
+        _write_pass_count(w, n)
+        assert _read_pass_count(BitReader(w.getvalue())) == n
+
+    def test_out_of_range_rejected(self):
+        for bad in (0, 165):
+            with pytest.raises(ValueError):
+                _write_pass_count(BitWriter(), bad)
+
+
+class TestPackets:
+    def _run(self, gh, gw, n_layers, seed):
+        """Random multi-layer packet exchange over one band."""
+        rng = np.random.default_rng(seed)
+        # Per block: first layer and per-layer new passes/data.
+        first = rng.integers(0, n_layers + 1, size=(gh, gw))
+        zero_planes = rng.integers(0, 5, size=(gh, gw))
+        contribs = {}
+        for by in range(gh):
+            for bx in range(gw):
+                passes = []
+                for layer in range(n_layers):
+                    if layer < first[by, bx]:
+                        passes.append((0, b""))
+                    else:
+                        n = int(rng.integers(1, 6))
+                        data = bytes(rng.integers(0, 256, size=int(rng.integers(0, 40))))
+                        passes.append((n, data))
+                contribs[(by, bx)] = passes
+        first_layers = np.where(first >= n_layers, n_layers, first)
+        writer = PacketWriter(
+            [BandState(gh, gw, first_layers.astype(np.int64), zero_planes.astype(np.int64))]
+        )
+        packets = []
+        for layer in range(n_layers):
+            grid = [
+                [
+                    BlockContribution(*contribs[(by, bx)][layer])
+                    for bx in range(gw)
+                ]
+                for by in range(gh)
+            ]
+            packets.append(writer.write_packet(layer, [grid]))
+        reader = PacketReader([(gh, gw)])
+        stream = b"".join(packets)
+        pos = 0
+        for layer in range(n_layers):
+            out, consumed = reader.read_packet(stream[pos:], layer)
+            pos += consumed
+            for by in range(gh):
+                for bx in range(gw):
+                    want_n, want_data = contribs[(by, bx)][layer]
+                    got = out[0][by][bx]
+                    assert got.n_new_passes == want_n
+                    assert got.data == want_data
+        assert pos == len(stream)
+        # zero-planes learned for every included block
+        for by in range(gh):
+            for bx in range(gw):
+                if first[by, bx] < n_layers:
+                    assert reader.zero_planes[0][by, bx] == zero_planes[by, bx]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_exchanges(self, seed):
+        self._run(gh=3, gw=4, n_layers=3, seed=seed)
+
+    def test_single_block_band(self):
+        self._run(gh=1, gw=1, n_layers=2, seed=42)
+
+    def test_empty_packet(self):
+        state = BandState(2, 2, np.full((2, 2), 1), np.zeros((2, 2), dtype=np.int64))
+        writer = PacketWriter([state])
+        empty = [[BlockContribution() for _ in range(2)] for _ in range(2)]
+        data = writer.write_packet(0, [empty])
+        reader = PacketReader([(2, 2)])
+        out, consumed = reader.read_packet(data, 0)
+        assert consumed == len(data)
+        assert all(not c.included for row in out[0] for c in row)
+
+
+class TestCodestream:
+    def _params(self, **kw):
+        defaults = dict(
+            height=64, width=64, bit_depth=8, levels=3, filter_name="9/7",
+            cb_size=32, n_layers=2, tile_size=0, base_step=1 / 128,
+        )
+        defaults.update(kw)
+        return CodestreamParams(**defaults)
+
+    def test_roundtrip(self):
+        params = self._params()
+        tiles = [TilePart(0, b"payload-bytes")]
+        data = write_codestream(params, tiles)
+        cs = read_codestream(data)
+        assert cs.params == params
+        assert cs.tiles[0].packets == b"payload-bytes"
+
+    def test_tiled_roundtrip(self):
+        params = self._params(tile_size=32)
+        tiles = [TilePart(i, bytes([i]) * (i + 1)) for i in range(4)]
+        data = write_codestream(params, tiles)
+        cs = read_codestream(data)
+        assert [t.packets for t in cs.tiles] == [t.packets for t in tiles]
+
+    def test_wrong_tile_count_rejected(self):
+        with pytest.raises(ValueError):
+            write_codestream(self._params(tile_size=32), [TilePart(0, b"")])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_codestream(b"NOPE" + bytes(40))
+
+    def test_tile_grid(self):
+        assert self._params(tile_size=0).tile_grid() == (1, 1)
+        assert self._params(height=65, width=64, tile_size=32).tile_grid() == (3, 2)
