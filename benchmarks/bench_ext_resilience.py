@@ -1,0 +1,10 @@
+"""Full-scale extension study: error-resilient decoding under injected
+faults (see the experiment module's docstring)."""
+
+from repro.experiments import ext_resilience as _mod
+
+from conftest import run_experiment
+
+
+def test_bench_ext_resilience(benchmark):
+    run_experiment(benchmark, _mod)

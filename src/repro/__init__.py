@@ -31,12 +31,13 @@ from .image import (
     read_pnm,
     write_pnm,
 )
-from .codec import CodecParams, encode_image, decode_image
+from .codec import CodecParams, DecodeReport, encode_image, decode_image
 from .wavelet import dwt2d, idwt2d, Subbands, VerticalStrategy
 from .core import (
     parallel_dwt2d,
     parallel_idwt2d,
     parallel_encode_blocks,
+    parallel_decode_blocks,
     parallel_quantize,
     amdahl_speedup,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "read_pnm",
     "write_pnm",
     "CodecParams",
+    "DecodeReport",
     "encode_image",
     "decode_image",
     "dwt2d",
@@ -65,6 +67,7 @@ __all__ = [
     "parallel_dwt2d",
     "parallel_idwt2d",
     "parallel_encode_blocks",
+    "parallel_decode_blocks",
     "parallel_quantize",
     "amdahl_speedup",
     "INTEL_SMP",

@@ -3,9 +3,10 @@
 Usage::
 
     python -m repro encode input.pgm output.rj2k [--lossless] [--bpp 0.5 ...]
-    python -m repro decode output.rj2k roundtrip.pgm [--layer K]
+    python -m repro decode output.rj2k roundtrip.pgm [--layer K] [--resilient]
     python -m repro info   output.rj2k
     python -m repro synth  test.pgm --side 512 [--kind mix] [--seed 0]
+    python -m repro faults inject in.rj2k out.rj2k --mode bitflip --rate 1e-4
     python -m repro experiments [--quick] [-o EXPERIMENTS.md]
 
 The codestream format is this library's own (structurally JPEG2000-like;
@@ -37,6 +38,7 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         base_step=args.step,
         target_bpp=tuple(args.bpp) if args.bpp else None,
         tile_size=args.tile_size,
+        resilience=args.resilient,
     )
     result = encode_image(img, params)
     with open(args.output, "wb") as fh:
@@ -59,7 +61,11 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 def _cmd_decode(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         data = fh.read()
-    img = decode_image(data, max_layer=args.layer)
+    if args.resilient:
+        img, report = decode_image(data, max_layer=args.layer, resilient=True)
+        print(report.summary())
+    else:
+        img = decode_image(data, max_layer=args.layer)
     write_pnm(args.output, img)
     kind = "PPM" if img.ndim == 3 else "PGM"
     print(f"{args.input} -> {args.output} ({kind}, {img.shape[0]}x{img.shape[1]})")
@@ -77,6 +83,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  transform  : {p.levels}-level {p.filter_name}")
     print(f"  code-blocks: {p.cb_size}x{p.cb_size}")
     print(f"  layers     : {p.n_layers}")
+    container = "v2 resilient (framed)" if p.resilient else "v1 (unframed)"
+    print(f"  container  : {container}")
     tiling = f"{p.tile_size}px tiles {p.tile_grid()}" if p.tile_size else "untiled"
     print(f"  tiling     : {tiling}")
     print(f"  tile-parts : {len(stream.tiles)}")
@@ -93,6 +101,37 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     )
     write_pnm(args.output, img)
     print(f"wrote {args.output}: {args.side}x{args.side} '{args.kind}' (seed {args.seed})")
+    return 0
+
+
+def _fault_mode_names():
+    from . import faults
+
+    return faults.FAULT_MODES
+
+
+def _cmd_faults_inject(args: argparse.Namespace) -> int:
+    from . import faults
+    from .tier2.codestream import main_header_size, read_version
+
+    with open(args.input, "rb") as fh:
+        data = fh.read()
+    skip = args.skip_prefix
+    if args.protect_header:
+        skip = max(skip, main_header_size(read_version(data) >= 2))
+    damaged = faults.inject(
+        data, mode=args.mode, rate=args.rate, seed=args.seed, skip_prefix=skip
+    )
+    with open(args.output, "wb") as fh:
+        fh.write(damaged)
+    changed = sum(a != b for a, b in zip(data, damaged)) + abs(
+        len(data) - len(damaged)
+    )
+    print(
+        f"{args.input} -> {args.output}: mode={args.mode} rate={args.rate:g} "
+        f"seed={args.seed} skip_prefix={skip}; {len(data)} -> {len(damaged)} "
+        f"bytes, {changed} byte(s) affected"
+    )
     return 0
 
 
@@ -123,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="cumulative layer rates in bits/pixel (ascending)",
     )
     enc.add_argument("--tile-size", type=int, default=0)
+    enc.add_argument(
+        "--resilient", action="store_true",
+        help="write the v2 error-resilient container (resync framing)",
+    )
     enc.add_argument("--verify", action="store_true", help="decode and check")
     enc.set_defaults(fn=_cmd_encode)
 
@@ -130,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("input")
     dec.add_argument("output")
     dec.add_argument("--layer", type=int, default=None, help="highest layer to decode")
+    dec.add_argument(
+        "--resilient", action="store_true",
+        help="conceal damage instead of failing; print a DecodeReport",
+    )
     dec.set_defaults(fn=_cmd_decode)
 
     info = sub.add_parser("info", help="print codestream parameters")
@@ -142,6 +189,30 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--kind", choices=("mix", "fbm", "edges", "texture"), default="mix")
     synth.add_argument("--seed", type=int, default=0)
     synth.set_defaults(fn=_cmd_synth)
+
+    flt = sub.add_parser("faults", help="deterministic fault injection")
+    flt_sub = flt.add_subparsers(dest="faults_command", required=True)
+    inj = flt_sub.add_parser("inject", help="write a damaged copy of a codestream")
+    inj.add_argument("input")
+    inj.add_argument("output")
+    inj.add_argument(
+        "--mode", choices=sorted(_fault_mode_names()), required=True,
+        help="corruption model",
+    )
+    inj.add_argument(
+        "--rate", type=float, required=True,
+        help="expected damaged fraction (bits for bitflip, bytes otherwise)",
+    )
+    inj.add_argument("--seed", type=int, default=0)
+    inj.add_argument(
+        "--skip-prefix", type=int, default=0,
+        help="leave the first N bytes undamaged",
+    )
+    inj.add_argument(
+        "--protect-header", action="store_true",
+        help="shorthand: skip at least the main header (JPWL assumption)",
+    )
+    inj.set_defaults(fn=_cmd_faults_inject)
 
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--quick", action="store_true")

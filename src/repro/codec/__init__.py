@@ -25,6 +25,7 @@ from .instrument import EncoderReport, StageStats
 from .blocks import BandLayout, BlockInfo, band_layouts, resolution_bands
 from .encoder import encode_image, EncodeResult
 from .decoder import decode_image
+from .resilience import DecodeReport, TileStats
 
 __all__ = [
     "CodecParams",
@@ -37,4 +38,6 @@ __all__ = [
     "encode_image",
     "EncodeResult",
     "decode_image",
+    "DecodeReport",
+    "TileStats",
 ]

@@ -24,6 +24,7 @@ from ..ebcot.t1 import EncodedBlock, encode_codeblock
 from ..quant.deadzone import DeadzoneQuantizer
 from ..rate.pcrd import BlockRateInfo, allocate_layers
 from ..tier2.codestream import CodestreamParams, TilePart, write_codestream
+from ..tier2.framing import write_frame
 from ..tier2.packet import BandState, BlockContribution, PacketWriter
 from ..wavelet.dwt2d import Subbands, dwt2d, synthesis_energy_gain
 from .blocks import BandLayout, BlockInfo, band_layouts, resolution_bands
@@ -375,6 +376,7 @@ def encode_image(
             base_step=params.base_step,
             n_components=n_components,
             roi_shift=roi_shift,
+            resilient=params.resilience,
         )
         data = write_codestream(cs_params, tile_parts)
         st.add_work(bytes_written=len(data))
@@ -396,11 +398,18 @@ def _assemble_tile(
     blocks: Sequence[BlockRecord],
     layer_passes: List[List[int]],
 ) -> bytes:
-    """Band table + LRCP packet sequence for one tile."""
+    """Band table + LRCP packet sequence for one tile.
+
+    With ``params.resilience`` every piece is wrapped in an SOP resync
+    frame: the tile header (decomposition depth + band table) as frame
+    sequence 0, then one frame per packet in LRCP emission order, so the
+    resilient decoder can drop a damaged packet and resynchronize on the
+    next frame.
+    """
     n_layers = len(layer_passes)
     res_bands = resolution_bands(eff_levels)
-    payload = bytearray()
-    payload.append(eff_levels)
+    header = bytearray()
+    header.append(eff_levels)
 
     # Band table: max planes per band, in resolution order.
     band_max: Dict[Tuple[int, str], int] = {}
@@ -409,7 +418,14 @@ def _assemble_tile(
             entries = band_data.get(key, [])
             mx = max((eb.n_planes for _, eb, _ in entries), default=0)
             band_max[key] = mx
-            payload.append(mx)
+            header.append(mx)
+
+    payload = bytearray()
+    if params.resilience:
+        payload += write_frame(0, bytes(header))
+    else:
+        payload += header
+    seq = 0
 
     # Per-resolution packet writers.
     writers: List[Optional[PacketWriter]] = []
@@ -461,5 +477,10 @@ def _assemble_tile(
                         data=eb.data[start:end],
                     )
                 contribs.append(grid)
-            payload += writer.write_packet(layer, contribs)
+            packet = writer.write_packet(layer, contribs)
+            if params.resilience:
+                seq += 1
+                payload += write_frame(seq, packet)
+            else:
+                payload += packet
     return bytes(payload)

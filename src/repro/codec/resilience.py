@@ -1,0 +1,122 @@
+"""Structured reporting for error-resilient decoding.
+
+A resilient decode (:func:`repro.codec.decode_image` with
+``resilient=True``) never raises on damaged input; instead it conceals
+what it lost and describes the damage here.  The report mirrors the
+concealment hierarchy:
+
+- **container level**: bytes skipped while resynchronizing on markers,
+  tile-parts that vanished entirely;
+- **packet level**: per tile-part, how many packets of the LRCP
+  progression were decoded vs dropped, and the number of complete
+  quality layers that survived (``layers_achieved``);
+- **code-block level**: blocks zero-filled because their tier-1 decode
+  failed or their tile could not be parsed at all.
+
+The whole report is plain data so services can log/aggregate it;
+``summary()`` renders the human-readable digest the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["TileStats", "DecodeReport"]
+
+
+@dataclass
+class TileStats:
+    """Damage accounting for one tile-part."""
+
+    index: int
+    packets_expected: int = 0
+    packets_decoded: int = 0
+    bytes_skipped: int = 0
+    blocks_total: int = 0
+    blocks_concealed: int = 0
+    layers_achieved: int = 0
+    concealed: bool = False  # whole tile-part zero-filled
+
+    @property
+    def packets_dropped(self) -> int:
+        return self.packets_expected - self.packets_decoded
+
+
+@dataclass
+class DecodeReport:
+    """What a resilient decode recovered, dropped, and concealed."""
+
+    framed: bool = False  # v2 resync-framed container
+    header_recovered: bool = True
+    tiles: List[TileStats] = field(default_factory=list)
+    container_bytes_skipped: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def packets_total(self) -> int:
+        return sum(t.packets_expected for t in self.tiles)
+
+    @property
+    def packets_dropped(self) -> int:
+        return sum(t.packets_dropped for t in self.tiles)
+
+    @property
+    def blocks_total(self) -> int:
+        return sum(t.blocks_total for t in self.tiles)
+
+    @property
+    def blocks_concealed(self) -> int:
+        return sum(t.blocks_concealed for t in self.tiles)
+
+    @property
+    def bytes_skipped(self) -> int:
+        return self.container_bytes_skipped + sum(t.bytes_skipped for t in self.tiles)
+
+    @property
+    def layers_achieved(self) -> List[int]:
+        """Complete quality layers decoded, per tile-part."""
+        return [t.layers_achieved for t in self.tiles]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was dropped, skipped, or concealed -- the
+        decode is byte-for-byte what strict mode would have produced."""
+        return (
+            self.header_recovered
+            and self.container_bytes_skipped == 0
+            and self.packets_dropped == 0
+            and self.blocks_concealed == 0
+            and not any(t.concealed or t.bytes_skipped for t in self.tiles)
+        )
+
+    def tile(self, index: int, n_packets: int = 0) -> TileStats:
+        """The stats row for tile-part ``index`` (created on demand)."""
+        for t in self.tiles:
+            if t.index == index:
+                return t
+        t = TileStats(index=index, packets_expected=n_packets)
+        self.tiles.append(t)
+        return t
+
+    def summary(self) -> str:
+        """Human-readable digest (what ``repro decode --resilient`` prints)."""
+        lines = [
+            "decode report: "
+            + ("clean" if self.clean else "degraded")
+            + (" (framed v2)" if self.framed else " (unframed v1)"),
+            f"  header     : {'recovered' if self.header_recovered else 'reconstructed'}",
+            f"  packets    : {self.packets_total - self.packets_dropped}/"
+            f"{self.packets_total} decoded, {self.packets_dropped} dropped",
+            f"  blocks     : {self.blocks_concealed}/{self.blocks_total} concealed",
+            f"  bytes      : {self.bytes_skipped} skipped while resyncing",
+            f"  layers/tile: {self.layers_achieved}",
+        ]
+        concealed = [t.index for t in self.tiles if t.concealed]
+        if concealed:
+            lines.append(f"  tile-parts zero-filled: {concealed}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

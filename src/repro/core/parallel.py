@@ -205,7 +205,8 @@ def parallel_decode_blocks(
     blocks: Sequence[Tuple[bytes, Tuple[int, int], str, int, Optional[int]]],
     n_workers: int = 1,
     scheduler=staggered_round_robin,
-) -> List[Tuple["np.ndarray", int]]:
+    on_error: str = "raise",
+) -> List[Optional[Tuple["np.ndarray", int]]]:
     """Tier-1 decode every block on a worker pool (decoder-side twin of
     :func:`parallel_encode_blocks`).
 
@@ -213,32 +214,52 @@ def parallel_decode_blocks(
     results return in input order.  Code-block *decoding* is just as
     independent as encoding -- the extension study
     (``repro.experiments.ext_decoder``) quantifies the resulting scaling.
+
+    ``on_error`` controls fault isolation.  ``"raise"`` (default)
+    propagates the first per-block exception -- but only after every
+    worker has drained its share, so one poisoned block cannot leave the
+    pool in a half-finished state.  ``"conceal"`` captures per-block
+    exceptions and returns ``None`` in that block's slot; the caller
+    zero-fills.  Either way the outcome is identical for any
+    ``n_workers`` because capture happens per task, not per worker.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
+    if on_error not in ("raise", "conceal"):
+        raise ValueError(f"on_error must be 'raise' or 'conceal', got {on_error!r}")
     indexed = list(enumerate(blocks))
     results: List[Optional[Tuple[np.ndarray, int]]] = [None] * len(indexed)
+    errors: List[Optional[BaseException]] = [None] * len(indexed)
 
-    def decode_one(args) -> Tuple[np.ndarray, int]:
+    def decode_one(i: int, args) -> None:
         data, shape, orient, n_planes, n_passes = args
-        return decode_codeblock(data, shape, orient, n_planes, n_passes)
+        try:
+            results[i] = decode_codeblock(data, shape, orient, n_planes, n_passes)
+        except Exception as exc:
+            errors[i] = exc
 
     if n_workers == 1 or len(indexed) <= 1:
         for i, args in indexed:
-            results[i] = decode_one(args)
-        return [r for r in results if r is not None]
-    assignment = scheduler(indexed, n_workers)
+            decode_one(i, args)
+    else:
+        assignment = scheduler(indexed, n_workers)
 
-    def work(items) -> None:
-        for i, args in items:
-            results[i] = decode_one(args)
+        def work(items) -> None:
+            for i, args in items:
+                decode_one(i, args)
 
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        list(pool.map(work, assignment))
-    missing = [i for i, r in enumerate(results) if r is None]
-    if missing:  # pragma: no cover - defensive
-        raise RuntimeError(f"blocks not decoded: {missing}")
-    return [r for r in results if r is not None]
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            list(pool.map(work, assignment))
+
+    if on_error == "raise":
+        for err in errors:
+            if err is not None:
+                raise err
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise RuntimeError(f"blocks not decoded: {missing}")
+        return results
+    return results
 
 
 def parallel_quantize(

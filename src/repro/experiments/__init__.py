@@ -19,6 +19,7 @@ Every module exposes ``run(quick=False) -> ExperimentResult``:
 ``sec34_amdahl``       Theoretical (Amdahl) vs measured speedups
 ``ext_decoder``        Extension: the techniques applied to decoding
 ``ext_message_passing``  Extension: SMP vs message-passing clusters
+``ext_resilience``     Extension: resilient decoding under injected faults
 =====================  =====================================================
 
 ``quick=True`` shrinks image sizes/CPU grids for fast benchmark runs; the
@@ -42,6 +43,7 @@ def all_experiments():
     from . import (
         ext_decoder,
         ext_message_passing,
+        ext_resilience,
         fig02_timings,
         fig03_serial,
         fig04_artifacts,
@@ -75,5 +77,6 @@ def all_experiments():
         sec34_amdahl,
         ext_decoder,
         ext_message_passing,
+        ext_resilience,
     ]
     return {m.__name__.rsplit(".", 1)[-1]: m for m in mods}

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for codestream robustness testing.
+
+Models the transmission impairments JPEG2000's error-resilience toolset
+(and our v2 resync framing) is built for: random bit flips, byte
+erasures, bursty corruption, tail truncation, and dropped spans.  Every
+mode is a pure function of ``(data, rate, seed)`` -- the same inputs
+always produce the same damaged stream -- so tests, benchmarks and the
+``repro faults inject`` CLI all reproduce each other's results.
+
+``skip_prefix`` protects a leading span (typically the main header,
+``repro.tier2.codestream.main_header_size``) from damage, modelling
+JPWL's assumption that the main header travels error-protected; pass 0
+to expose the whole stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultSpec",
+    "inject",
+    "bitflip",
+    "erase",
+    "burst",
+    "truncate",
+    "drop",
+]
+
+#: Bytes per burst / dropped span (chosen to straddle frame boundaries).
+_BURST_LEN = 16
+_DROP_LEN = 24
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One reproducible corruption: mode + rate + RNG seed.
+
+    ``rate`` is the expected damaged fraction -- of *bits* for
+    ``bitflip``, of *bytes* for every other mode.
+    """
+
+    mode: str
+    rate: float
+    seed: int = 0
+    skip_prefix: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} must be in [0, 1]")
+        if self.skip_prefix < 0:
+            raise ValueError("skip_prefix must be non-negative")
+
+    def apply(self, data: bytes) -> bytes:
+        return inject(data, self)
+
+
+def _rng(spec: FaultSpec) -> np.random.Generator:
+    # Seed on (mode, rate, seed) so sweeping the rate at a fixed seed
+    # still draws independent damage patterns per point.  crc32, not
+    # hash(): str hashing is salted per interpreter run.
+    return np.random.default_rng(
+        [spec.seed, zlib.crc32(spec.mode.encode()), int(spec.rate * 1e9)]
+    )
+
+
+def bitflip(data: bytes, spec: FaultSpec) -> bytes:
+    """Flip each exposed bit independently with probability ``rate``."""
+    out = bytearray(data)
+    exposed = len(data) - spec.skip_prefix
+    if exposed <= 0:
+        return bytes(out)
+    rng = _rng(spec)
+    n_flips = rng.binomial(exposed * 8, spec.rate)
+    if n_flips == 0:
+        return bytes(out)
+    positions = rng.integers(0, exposed * 8, size=n_flips)
+    for bit_pos in positions:
+        out[spec.skip_prefix + int(bit_pos) // 8] ^= 1 << (int(bit_pos) % 8)
+    return bytes(out)
+
+
+def erase(data: bytes, spec: FaultSpec) -> bytes:
+    """Zero each exposed byte independently with probability ``rate``."""
+    out = bytearray(data)
+    exposed = len(data) - spec.skip_prefix
+    if exposed <= 0:
+        return bytes(out)
+    rng = _rng(spec)
+    mask = rng.random(exposed) < spec.rate
+    for off in np.nonzero(mask)[0]:
+        out[spec.skip_prefix + int(off)] = 0x00
+    return bytes(out)
+
+
+def burst(data: bytes, spec: FaultSpec) -> bytes:
+    """Randomize contiguous bursts totalling ~``rate`` of the bytes."""
+    out = bytearray(data)
+    exposed = len(data) - spec.skip_prefix
+    if exposed <= 0:
+        return bytes(out)
+    rng = _rng(spec)
+    n_bursts = max(1, int(round(exposed * spec.rate / _BURST_LEN))) if spec.rate else 0
+    for _ in range(n_bursts):
+        start = spec.skip_prefix + int(rng.integers(0, exposed))
+        length = min(_BURST_LEN, len(data) - start)
+        noise = rng.integers(0, 256, size=length, dtype=np.uint8)
+        out[start : start + length] = noise.tobytes()
+    return bytes(out)
+
+
+def truncate(data: bytes, spec: FaultSpec) -> bytes:
+    """Cut the tail at a random point; expected cut fraction = ``rate``."""
+    exposed = len(data) - spec.skip_prefix
+    if exposed <= 0 or spec.rate == 0.0:
+        return bytes(data)
+    rng = _rng(spec)
+    cut = int(round(exposed * spec.rate * 2.0 * rng.random()))
+    cut = min(cut, exposed)
+    return bytes(data[: len(data) - cut])
+
+
+def drop(data: bytes, spec: FaultSpec) -> bytes:
+    """Delete spans (packet loss) totalling ~``rate`` of the bytes.
+
+    Deletion *shifts* everything after the hole -- the hardest case for
+    an unframed decoder, and exactly what SOP resync recovers from.
+    """
+    exposed = len(data) - spec.skip_prefix
+    if exposed <= 0 or spec.rate == 0.0:
+        return bytes(data)
+    rng = _rng(spec)
+    n_drops = max(1, int(round(exposed * spec.rate / _DROP_LEN)))
+    starts = sorted(
+        spec.skip_prefix + int(s) for s in rng.integers(0, exposed, size=n_drops)
+    )
+    out = bytearray()
+    pos = 0
+    for start in starts:
+        if start < pos:
+            continue
+        out += data[pos:start]
+        pos = min(len(data), start + _DROP_LEN)
+    out += data[pos:]
+    return bytes(out)
+
+
+FAULT_MODES: Dict[str, Callable[[bytes, FaultSpec], bytes]] = {
+    "bitflip": bitflip,
+    "erase": erase,
+    "burst": burst,
+    "truncate": truncate,
+    "drop": drop,
+}
+
+
+def inject(
+    data: bytes,
+    spec: FaultSpec = None,
+    *,
+    mode: str = None,
+    rate: float = None,
+    seed: int = 0,
+    skip_prefix: int = 0,
+) -> bytes:
+    """Damage ``data`` according to a :class:`FaultSpec` (or kwargs).
+
+    ``inject(data, mode="bitflip", rate=1e-4, seed=3)`` is shorthand for
+    ``inject(data, FaultSpec("bitflip", 1e-4, 3))``.
+    """
+    if spec is None:
+        if mode is None or rate is None:
+            raise ValueError("need a FaultSpec or mode= and rate=")
+        spec = FaultSpec(mode=mode, rate=rate, seed=seed, skip_prefix=skip_prefix)
+    return FAULT_MODES[spec.mode](data, spec)

@@ -13,15 +13,25 @@ adaptive ``Lblock`` code.  The container framing (markers) is a compact
 binary format of the same structure as JPEG2000's (SOC/SIZ/COD/SOT/SOD/
 EOC), self-consistent between this encoder and decoder; byte-level
 interchange with other codecs is out of scope for the reproduction.
+
+An opt-in error-resilient container (v2) adds SOP resync frames and
+header CRCs (:mod:`repro.tier2.framing`); :func:`scan_codestream` is the
+never-raising recovery parser that backs ``decode_image(...,
+resilient=True)``, and every strict parse failure is normalized to
+:class:`CodestreamError`.
 """
 
 from .bitio import BitReader, BitWriter
 from .tagtree import TagTree, TagTreeDecoder
 from .packet import PacketWriter, PacketReader, BlockContribution
 from .codestream import (
+    CodestreamError,
     CodestreamParams,
+    ScanInfo,
     write_codestream,
     read_codestream,
+    scan_codestream,
+    main_header_size,
     Codestream,
     TilePart,
 )
@@ -34,9 +44,13 @@ __all__ = [
     "PacketWriter",
     "PacketReader",
     "BlockContribution",
+    "CodestreamError",
     "CodestreamParams",
+    "ScanInfo",
     "write_codestream",
     "read_codestream",
+    "scan_codestream",
+    "main_header_size",
     "Codestream",
     "TilePart",
 ]

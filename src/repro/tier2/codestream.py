@@ -7,23 +7,69 @@ progression (LRCP), and an end marker -- using a compact binary encoding.
 Self-consistent between :func:`write_codestream` and
 :func:`read_codestream`; byte-level interchange with other JPEG2000
 codecs is out of scope (DESIGN.md documents the substitution).
+
+Two container versions exist:
+
+- **v1** (default): the compact format -- one-byte SOT/EOC markers, no
+  redundancy.  Any damage is fatal to strict parsing.
+- **v2** (``CodestreamParams.resilient``): the error-resilient format.
+  The main header is CRC-protected and written twice (JPWL-style header
+  redundancy), tile-parts start with a two-byte ``0xFF90`` SOT marker
+  whose index/length fields carry their own CRC, the stream ends with
+  ``0xFFD9``, and every packet inside a tile payload is wrapped in an
+  SOP resync frame (:mod:`repro.tier2.framing`).
+
+Strict parsing (:func:`read_codestream`) normalizes every failure to
+:class:`CodestreamError` and fails fast on v2 CRC mismatches; the
+resilient scanner (:func:`scan_codestream`) never raises on damaged
+input -- it recovers what validates, resynchronizes past what does not,
+and reports what it skipped.
 """
 
 from __future__ import annotations
 
+import math
 import struct
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["CodestreamParams", "TilePart", "Codestream", "write_codestream", "read_codestream"]
+from .framing import EOC2, SOP, SOT, CodestreamError, crc16
+
+__all__ = [
+    "CodestreamError",
+    "CodestreamParams",
+    "TilePart",
+    "Codestream",
+    "ScanInfo",
+    "write_codestream",
+    "read_codestream",
+    "scan_codestream",
+    "main_header_size",
+    "read_version",
+]
 
 _MAGIC = b"RJ2K"
 _VERSION = 1
-_SOT = 0x90
-_EOC = 0xD9
+_VERSION_RESILIENT = 2
+_SOT_V1 = 0x90
+_EOC_V1 = 0xD9
 
 _FILTER_CODES = {"9/7": 0, "5/3": 1}
 _FILTER_NAMES = {v: k for k, v in _FILTER_CODES.items()}
+
+# Main header body: version + the CodecParams-equivalent fields.
+_HDR_FMT = ">BIIBBBHBIdBB"
+_HDR_SIZE = struct.calcsize(_HDR_FMT)
+# v2 SOT frame: marker (2) + index:u16 + length:u32 + crc16(index,length).
+_SOT_FMT = ">HIH"
+_SOT_SIZE = 2 + struct.calcsize(_SOT_FMT)
+
+#: Resilient-mode cap on recovered image dimensions: a corrupt header
+#: must not be able to demand a huge allocation (only sanitized headers
+#: are clamped -- CRC-validated or strictly-valid headers pass through).
+_MAX_DIM = 4096
+#: Resilient-mode cap on the tile-part count recovered from a header.
+_MAX_TILE_PARTS = 1 << 14
 
 
 @dataclass(frozen=True)
@@ -41,6 +87,7 @@ class CodestreamParams:
     base_step: float
     n_components: int = 1
     roi_shift: int = 0
+    resilient: bool = False  # v2 container: resync framing + header CRCs
 
     @property
     def n_tile_parts(self) -> int:
@@ -77,21 +124,21 @@ class Codestream:
     tiles: List[TilePart] = field(default_factory=list)
 
 
-def write_codestream(params: CodestreamParams, tiles: Sequence[TilePart]) -> bytes:
-    """Serialize parameters and tile-parts into one byte string.
+@dataclass
+class ScanInfo:
+    """What the resilient scanner had to do to recover a codestream."""
 
-    Multi-component streams carry one tile-part per (tile, component),
-    component-major within each tile.
-    """
-    if len(tiles) != params.n_tile_parts:
-        raise ValueError(
-            f"expected {params.n_tile_parts} tile-parts, got {len(tiles)}"
-        )
-    out = bytearray()
-    out += _MAGIC
-    out += struct.pack(
-        ">BIIBBBHBIdBB",
-        _VERSION,
+    header_recovered: bool = True  # a CRC-validated (or v1) header parsed
+    header_sanitized: bool = False  # fields had to be clamped to sane ranges
+    bytes_skipped: int = 0  # container-level bytes dropped while resyncing
+    missing_parts: List[int] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+def _pack_header(params: CodestreamParams, version: int) -> bytes:
+    return struct.pack(
+        _HDR_FMT,
+        version,
         params.height,
         params.width,
         params.bit_depth,
@@ -104,20 +151,63 @@ def write_codestream(params: CodestreamParams, tiles: Sequence[TilePart]) -> byt
         params.n_components,
         params.roi_shift,
     )
-    for tile in tiles:
-        out += struct.pack(">BHI", _SOT, tile.index, len(tile.packets))
-        out += tile.packets
-    out += struct.pack(">B", _EOC)
+
+
+def read_version(data: bytes) -> int:
+    """Return the container version byte without parsing the full header."""
+    if len(data) < 5 or data[:4] != _MAGIC:
+        raise CodestreamError("not an RJ2K codestream")
+    return data[4]
+
+
+def main_header_size(resilient: bool = False) -> int:
+    """Bytes before the first tile-part (magic + header copies).
+
+    Fault-injection harnesses use this to corrupt only the payload,
+    modelling JPWL's assumption of an error-protected main header.
+    """
+    if resilient:
+        return 4 + 2 * (_HDR_SIZE + 2)
+    return 4 + _HDR_SIZE
+
+
+def write_codestream(params: CodestreamParams, tiles: Sequence[TilePart]) -> bytes:
+    """Serialize parameters and tile-parts into one byte string.
+
+    Multi-component streams carry one tile-part per (tile, component),
+    component-major within each tile.  ``params.resilient`` selects the
+    v2 container (see the module docstring); the caller is responsible
+    for framing the tile payloads themselves with
+    :func:`repro.tier2.framing.write_frame`.
+    """
+    if len(tiles) != params.n_tile_parts:
+        raise ValueError(
+            f"expected {params.n_tile_parts} tile-parts, got {len(tiles)}"
+        )
+    out = bytearray()
+    out += _MAGIC
+    if params.resilient:
+        hdr = _pack_header(params, _VERSION_RESILIENT)
+        protected = hdr + struct.pack(">H", crc16(hdr))
+        out += protected + protected  # JPWL-style duplicated main header
+        for tile in tiles:
+            sot = struct.pack(">HI", tile.index, len(tile.packets))
+            out += SOT + sot + struct.pack(">H", crc16(sot))
+            out += tile.packets
+        out += EOC2
+    else:
+        out += _pack_header(params, _VERSION)
+        for tile in tiles:
+            out += struct.pack(">BHI", _SOT_V1, tile.index, len(tile.packets))
+            out += tile.packets
+        out += struct.pack(">B", _EOC_V1)
     return bytes(out)
 
 
-def read_codestream(data: bytes) -> Codestream:
-    """Parse a codestream written by :func:`write_codestream`."""
-    if data[:4] != _MAGIC:
-        raise ValueError("not a repro codestream (bad magic)")
-    pos = 4
-    fmt = ">BIIBBBHBIdBB"
-    size = struct.calcsize(fmt)
+def _unpack_header(data: bytes, pos: int) -> Tuple[int, dict]:
+    """Raw header fields at ``pos`` (bounds-checked, no validation)."""
+    if pos + _HDR_SIZE > len(data):
+        raise CodestreamError("truncated main header")
     (
         version,
         height,
@@ -131,20 +221,13 @@ def read_codestream(data: bytes) -> Codestream:
         base_step,
         n_components,
         roi_shift,
-    ) = struct.unpack_from(fmt, data, pos)
-    pos += size
-    if version != _VERSION:
-        raise ValueError(f"unsupported codestream version {version}")
-    try:
-        filter_name = _FILTER_NAMES[filter_code]
-    except KeyError:
-        raise ValueError(f"unknown filter code {filter_code}") from None
-    params = CodestreamParams(
+    ) = struct.unpack_from(_HDR_FMT, data, pos)
+    fields = dict(
         height=height,
         width=width,
         bit_depth=bit_depth,
         levels=levels,
-        filter_name=filter_name,
+        filter_code=filter_code,
         cb_size=cb_size,
         n_layers=n_layers,
         tile_size=tile_size,
@@ -152,21 +235,325 @@ def read_codestream(data: bytes) -> Codestream:
         n_components=n_components,
         roi_shift=roi_shift,
     )
+    return version, fields
+
+
+def _validate_fields(fields: dict, resilient: bool) -> CodestreamParams:
+    """Strict field validation -> params; any nonsense is an error."""
+    try:
+        filter_name = _FILTER_NAMES[fields["filter_code"]]
+    except KeyError:
+        raise CodestreamError(
+            f"unknown filter code {fields['filter_code']}"
+        ) from None
+    height, width = fields["height"], fields["width"]
+    if not (1 <= height <= (1 << 31)) or not (1 <= width <= (1 << 31)):
+        raise CodestreamError(f"implausible image size {height}x{width}")
+    if not 1 <= fields["bit_depth"] <= 16:
+        raise CodestreamError(f"bit depth {fields['bit_depth']} out of range")
+    if fields["levels"] > 32:
+        raise CodestreamError(f"implausible decomposition depth {fields['levels']}")
+    cb = fields["cb_size"]
+    if cb < 4 or cb > 64 or cb & (cb - 1):
+        raise CodestreamError(f"invalid code-block size {cb}")
+    if fields["n_layers"] < 1:
+        raise CodestreamError("layer count must be positive")
+    if fields["n_components"] not in (1, 3):
+        raise CodestreamError(f"unsupported component count {fields['n_components']}")
+    step = fields["base_step"]
+    if not math.isfinite(step) or step <= 0:
+        raise CodestreamError(f"invalid base step {step}")
+    if fields["roi_shift"] > 48:
+        raise CodestreamError(f"implausible ROI shift {fields['roi_shift']}")
+    return CodestreamParams(
+        height=height,
+        width=width,
+        bit_depth=fields["bit_depth"],
+        levels=fields["levels"],
+        filter_name=filter_name,
+        cb_size=cb,
+        n_layers=fields["n_layers"],
+        tile_size=fields["tile_size"],
+        base_step=step,
+        n_components=fields["n_components"],
+        roi_shift=fields["roi_shift"],
+        resilient=resilient,
+    )
+
+
+def _sanitize_fields(fields: dict, resilient: bool, info: ScanInfo) -> CodestreamParams:
+    """Best-effort params from a possibly-corrupt header (never raises).
+
+    Every clamp is recorded; the caps bound memory and work so a
+    flipped size field cannot demand a gigabyte allocation.
+    """
+    f = dict(fields)
+    clamped = False
+
+    def clamp(key, lo, hi):
+        nonlocal clamped
+        v = f[key]
+        c = min(max(v, lo), hi)
+        if c != v:
+            f[key] = c
+            clamped = True
+
+    clamp("height", 1, _MAX_DIM)
+    clamp("width", 1, _MAX_DIM)
+    clamp("bit_depth", 1, 16)
+    clamp("levels", 0, 16)
+    clamp("n_layers", 1, 255)
+    clamp("roi_shift", 0, 48)
+    clamp("tile_size", 0, max(f["height"], f["width"]))
+    if f["filter_code"] not in _FILTER_NAMES:
+        f["filter_code"] = 0
+        clamped = True
+    cb = f["cb_size"]
+    if cb < 4 or cb > 64 or cb & (cb - 1):
+        f["cb_size"] = 64
+        clamped = True
+    if f["n_components"] not in (1, 3):
+        f["n_components"] = 1
+        clamped = True
+    step = f["base_step"]
+    if not math.isfinite(step) or step <= 0 or step > 1e6:
+        f["base_step"] = 1.0 / 128.0
+        clamped = True
+    params = CodestreamParams(
+        height=f["height"],
+        width=f["width"],
+        bit_depth=f["bit_depth"],
+        levels=f["levels"],
+        filter_name=_FILTER_NAMES[f["filter_code"]],
+        cb_size=f["cb_size"],
+        n_layers=f["n_layers"],
+        tile_size=f["tile_size"],
+        base_step=f["base_step"],
+        n_components=f["n_components"],
+        roi_shift=f["roi_shift"],
+        resilient=resilient,
+    )
+    if params.n_tile_parts > _MAX_TILE_PARTS:
+        params = replace(params, tile_size=0)
+        clamped = True
+    if clamped:
+        info.header_sanitized = True
+        info.notes.append("main header fields clamped to sane ranges")
+    return params
+
+
+def read_codestream(data: bytes) -> Codestream:
+    """Parse a codestream written by :func:`write_codestream` (strict).
+
+    Raises :class:`CodestreamError` -- and nothing else -- on any
+    malformed input, including truncated prefixes and garbage bytes.
+    On v2 (resilient) streams every CRC is verified and the first
+    mismatch fails fast.
+    """
+    if len(data) < 4 or data[:4] != _MAGIC:
+        raise CodestreamError("not a repro codestream (bad magic)")
+    version, fields = _unpack_header(data, 4)
+    if version == _VERSION:
+        params = _validate_fields(fields, resilient=False)
+        return _read_body_v1(data, 4 + _HDR_SIZE, params)
+    if version == _VERSION_RESILIENT:
+        for copy in range(2):
+            start = 4 + copy * (_HDR_SIZE + 2)
+            if start + _HDR_SIZE + 2 > len(data):
+                raise CodestreamError("truncated main header")
+            hdr = data[start : start + _HDR_SIZE]
+            (crc,) = struct.unpack_from(">H", data, start + _HDR_SIZE)
+            if crc16(hdr) != crc:
+                raise CodestreamError(f"main header copy {copy} CRC mismatch")
+        params = _validate_fields(fields, resilient=True)
+        return _read_body_v2(data, main_header_size(resilient=True), params)
+    raise CodestreamError(f"unsupported codestream version {version}")
+
+
+def _read_body_v1(data: bytes, pos: int, params: CodestreamParams) -> Codestream:
     stream = Codestream(params=params)
     while True:
-        (marker,) = struct.unpack_from(">B", data, pos)
+        if pos >= len(data):
+            raise CodestreamError("truncated codestream (no EOC marker)")
+        marker = data[pos]
         pos += 1
-        if marker == _EOC:
+        if marker == _EOC_V1:
             break
-        if marker != _SOT:
-            raise ValueError(f"unexpected marker 0x{marker:02X} at offset {pos - 1}")
+        if marker != _SOT_V1:
+            raise CodestreamError(
+                f"unexpected marker 0x{marker:02X} at offset {pos - 1}"
+            )
+        if pos + 6 > len(data):
+            raise CodestreamError("truncated tile-part header")
         index, length = struct.unpack_from(">HI", data, pos)
-        pos += struct.calcsize(">HI")
+        pos += 6
+        if pos + length > len(data):
+            raise CodestreamError(f"tile-part {index} overruns the stream")
         stream.tiles.append(TilePart(index=index, packets=data[pos : pos + length]))
         pos += length
     if len(stream.tiles) != params.n_tile_parts:
-        raise ValueError(
+        raise CodestreamError(
             f"codestream has {len(stream.tiles)} tile-parts, "
             f"header promised {params.n_tile_parts}"
         )
     return stream
+
+
+def _parse_sot_at(data: bytes, pos: int) -> Optional[Tuple[int, int, int]]:
+    """Validated v2 SOT at ``pos`` -> (index, length, payload_pos)."""
+    if data[pos : pos + 2] != SOT or pos + _SOT_SIZE > len(data):
+        return None
+    index, length, crc = struct.unpack_from(_SOT_FMT, data, pos + 2)
+    if crc16(data[pos + 2 : pos + 8]) != crc:
+        return None
+    if pos + _SOT_SIZE + length > len(data):
+        return None
+    return index, length, pos + _SOT_SIZE
+
+
+def _read_body_v2(data: bytes, pos: int, params: CodestreamParams) -> Codestream:
+    stream = Codestream(params=params)
+    while True:
+        if data[pos : pos + 2] == EOC2:
+            break
+        parsed = _parse_sot_at(data, pos)
+        if parsed is None:
+            raise CodestreamError(f"invalid tile-part marker at offset {pos}")
+        index, length, payload_pos = parsed
+        stream.tiles.append(
+            TilePart(index=index, packets=data[payload_pos : payload_pos + length])
+        )
+        pos = payload_pos + length
+    if len(stream.tiles) != params.n_tile_parts:
+        raise CodestreamError(
+            f"codestream has {len(stream.tiles)} tile-parts, "
+            f"header promised {params.n_tile_parts}"
+        )
+    return stream
+
+
+def scan_codestream(data: bytes) -> Tuple[Codestream, ScanInfo]:
+    """Resiliently recover a codestream from possibly-damaged bytes.
+
+    Never raises on damage: uses whichever main-header copy validates
+    (falling back to sanitized best-effort fields), resynchronizes on
+    SOT markers, and substitutes empty payloads for unrecoverable
+    tile-parts.  ``stream.tiles`` always has exactly
+    ``params.n_tile_parts`` entries, in index order.
+    """
+    info = ScanInfo()
+    if data[:4] != _MAGIC:
+        info.notes.append("bad magic (continuing anyway)")
+    buf = data if len(data) >= 4 + _HDR_SIZE else data + bytes(4 + _HDR_SIZE - len(data))
+    version, fields = _unpack_header(buf, 4)
+
+    params: Optional[CodestreamParams] = None
+    if len(data) >= main_header_size(resilient=True):
+        for copy in range(2):
+            start = 4 + copy * (_HDR_SIZE + 2)
+            hdr = data[start : start + _HDR_SIZE]
+            (crc,) = struct.unpack_from(">H", data, start + _HDR_SIZE)
+            if crc16(hdr) == crc:
+                v, f = _unpack_header(data, start)
+                if v == _VERSION_RESILIENT:
+                    try:
+                        params = _validate_fields(f, resilient=True)
+                    except CodestreamError:
+                        continue
+                    if copy:
+                        info.notes.append("primary header copy damaged; used backup")
+                    break
+    if params is None:
+        # No CRC-validated v2 header.  Decide the container version by
+        # the version byte, falling back to marker sniffing when that
+        # byte itself is implausible.
+        resilient = version == _VERSION_RESILIENT
+        if version not in (_VERSION, _VERSION_RESILIENT):
+            resilient = data.find(SOT) >= 0 or data.find(SOP) >= 0
+            info.notes.append(f"corrupt version byte {version}")
+        if not resilient:
+            # v1 carries no CRC; a strictly valid header counts as
+            # recovered (there is nothing more to check against).
+            try:
+                params = _validate_fields(fields, resilient=False)
+            except CodestreamError:
+                params = None
+        if params is None:
+            info.header_recovered = False
+            params = _sanitize_fields(fields, resilient, info)
+    else:
+        info.header_recovered = True
+
+    body_start = main_header_size(params.resilient)
+    parts: dict = {}
+    if params.resilient:
+        pos = min(body_start, len(data))
+        while pos < len(data):
+            if data[pos : pos + 2] == EOC2:
+                break
+            parsed = _parse_sot_at(data, pos)
+            if parsed is None:
+                nxt = _next_sot(data, pos + 1)
+                if nxt is None:
+                    info.bytes_skipped += len(data) - pos
+                    break
+                info.bytes_skipped += nxt - pos
+                pos = nxt
+                continue
+            index, length, payload_pos = parsed
+            if index < params.n_tile_parts and index not in parts:
+                parts[index] = data[payload_pos : payload_pos + length]
+            elif index >= params.n_tile_parts:
+                info.notes.append(f"dropped tile-part with bad index {index}")
+                info.bytes_skipped += length
+            pos = payload_pos + length
+    else:
+        # v1 has no redundancy: walk until the first inconsistency, keep
+        # the prefix of tile-parts that parsed.
+        try:
+            strict = _read_body_v1(data, body_start, params)
+            for tp in strict.tiles:
+                if tp.index not in parts and tp.index < params.n_tile_parts:
+                    parts[tp.index] = tp.packets
+        except CodestreamError:
+            pos = body_start
+            while pos < len(data):
+                marker = data[pos]
+                pos += 1
+                if marker == _EOC_V1:
+                    break
+                if marker != _SOT_V1 or pos + 6 > len(data):
+                    info.bytes_skipped += len(data) - (pos - 1)
+                    break
+                index, length = struct.unpack_from(">HI", data, pos)
+                pos += 6
+                if pos + length > len(data) or index >= params.n_tile_parts:
+                    # Unverifiable without CRCs: keep the truncated tail
+                    # for the in-bounds case, then stop.
+                    if index < params.n_tile_parts and index not in parts:
+                        parts[index] = data[pos:]
+                    info.bytes_skipped += max(0, len(data) - pos - length)
+                    break
+                if index not in parts:
+                    parts[index] = data[pos : pos + length]
+                pos += length
+
+    stream = Codestream(params=params)
+    for i in range(params.n_tile_parts):
+        payload = parts.get(i)
+        if payload is None:
+            info.missing_parts.append(i)
+            payload = b""
+        stream.tiles.append(TilePart(index=i, packets=payload))
+    return stream, info
+
+
+def _next_sot(data: bytes, start: int) -> Optional[int]:
+    pos = start
+    while True:
+        pos = data.find(SOT, pos)
+        if pos < 0:
+            return None
+        if _parse_sot_at(data, pos) is not None or data[pos : pos + 2] == EOC2:
+            return pos
+        pos += 1

@@ -1,0 +1,170 @@
+"""Resync framing for error-resilient codestreams (cf. T.800 SOP/EPH).
+
+JPEG2000 Part 1's error-resilience toolset brackets packets with
+start-of-packet (SOP, ``0xFF91``) markers carrying a sequence number, so
+a decoder that loses bit-stream synchronization inside a damaged packet
+can scan forward to the next marker and resume with the packets that
+survived.  This module implements the repro codestream's equivalent: an
+opt-in frame around every packet (and around the tile header, as frame
+sequence 0) consisting of
+
+    ``0xFF91 | seq:u16 | length:u32 | crc16(body):u16 | body``
+
+The CRC (CCITT-16, polynomial 0x1021) goes beyond the standard's SOP --
+Part 1 markers only delimit; detection there relies on decoder-side
+consistency checks -- and plays the role of JPWL (Part 11) error
+protection blocks: a frame is accepted only when marker, in-bounds
+length *and* checksum agree, which makes false resync points vanishingly
+unlikely.  :class:`FrameScanner` yields the surviving frames of a
+damaged buffer in order, counting the bytes it had to skip.
+
+``CodestreamError`` lives here (and is re-exported by
+:mod:`repro.tier2.codestream`, its public home) so both the container
+and the packet parser can raise it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "CodestreamError",
+    "SOP",
+    "SOT",
+    "EOC2",
+    "FRAME_OVERHEAD",
+    "crc16",
+    "write_frame",
+    "parse_frame_at",
+    "FrameScanner",
+    "collect_frames",
+]
+
+
+class CodestreamError(ValueError):
+    """A codestream failed to parse (truncated, corrupt, or not ours).
+
+    Strict-mode decoding normalizes every parse failure -- bad magic,
+    short headers, out-of-bounds lengths, exhausted packet bits -- to
+    this type so callers never see raw ``struct.error`` / ``IndexError``
+    / ``EOFError`` internals.
+    """
+
+
+#: Start-of-packet frame marker (JPEG2000's SOP code).
+SOP = b"\xff\x91"
+#: Start-of-tile marker used by resilient (v2) codestreams.
+SOT = b"\xff\x90"
+#: End-of-codestream marker used by resilient (v2) codestreams.
+EOC2 = b"\xff\xd9"
+
+_FRAME_HDR = ">HIH"  # seq, body length, crc16(body)
+#: Bytes a frame adds around its body (marker + seq + length + crc).
+FRAME_OVERHEAD = 2 + struct.calcsize(_FRAME_HDR)
+
+_CRC_POLY = 0x1021
+
+
+def _build_crc_table() -> Tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ _CRC_POLY) if crc & 0x8000 else (crc << 1)
+        table.append(crc & 0xFFFF)
+    return tuple(table)
+
+
+_CRC_TABLE = _build_crc_table()
+
+
+def crc16(data: bytes, crc: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE over ``data``."""
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CRC_TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def write_frame(seq: int, body: bytes) -> bytes:
+    """One SOP-delimited frame around ``body``."""
+    if not 0 <= seq <= 0xFFFF:
+        raise ValueError(f"frame sequence {seq} out of range")
+    return SOP + struct.pack(_FRAME_HDR, seq, len(body), crc16(body)) + body
+
+
+def parse_frame_at(data: bytes, pos: int) -> Tuple[int, bytes, int]:
+    """Parse the frame starting exactly at ``pos``.
+
+    Returns ``(seq, body, next_pos)``; raises :class:`CodestreamError`
+    on any mismatch (marker, bounds, or CRC) -- the strict path.
+    """
+    if data[pos : pos + 2] != SOP:
+        raise CodestreamError(f"expected SOP marker at offset {pos}")
+    hdr_end = pos + FRAME_OVERHEAD
+    if hdr_end > len(data):
+        raise CodestreamError("truncated frame header")
+    seq, length, crc = struct.unpack_from(_FRAME_HDR, data, pos + 2)
+    body = data[hdr_end : hdr_end + length]
+    if len(body) != length:
+        raise CodestreamError(f"frame {seq} body truncated")
+    if crc16(body) != crc:
+        raise CodestreamError(f"frame {seq} CRC mismatch")
+    return seq, bytes(body), hdr_end + length
+
+
+def _try_frame(data: bytes, pos: int) -> Optional[Tuple[int, bytes, int]]:
+    try:
+        return parse_frame_at(data, pos)
+    except CodestreamError:
+        return None
+
+
+class FrameScanner:
+    """Resilient frame iterator: skips damage, resynchronizes on SOP.
+
+    Walks ``data`` from ``start``; whenever the bytes at the cursor are
+    not a fully valid frame, scans forward for the next SOP candidate
+    that checks out (marker + in-bounds length + CRC) and records the
+    skipped span in :attr:`bytes_skipped`.
+    """
+
+    def __init__(self, data: bytes, start: int = 0) -> None:
+        self.data = data
+        self.pos = start
+        self.bytes_skipped = 0
+
+    def __iter__(self) -> Iterator[Tuple[int, bytes]]:
+        data = self.data
+        while self.pos < len(data):
+            parsed = _try_frame(data, self.pos)
+            if parsed is None:
+                nxt = self._resync(self.pos + 1)
+                if nxt is None:
+                    self.bytes_skipped += len(data) - self.pos
+                    return
+                self.bytes_skipped += nxt - self.pos
+                self.pos = nxt
+                parsed = _try_frame(data, self.pos)
+                if parsed is None:  # pragma: no cover - _resync validated it
+                    return
+            seq, body, self.pos = parsed
+            yield seq, body
+
+    def _resync(self, start: int) -> Optional[int]:
+        """Offset of the next fully valid frame at/after ``start``."""
+        pos = start
+        while True:
+            pos = self.data.find(SOP, pos)
+            if pos < 0:
+                return None
+            if _try_frame(self.data, pos) is not None:
+                return pos
+            pos += 1
+
+
+def collect_frames(data: bytes, start: int = 0) -> Tuple[List[Tuple[int, bytes]], int]:
+    """All surviving frames of a damaged buffer plus bytes skipped."""
+    scanner = FrameScanner(data, start)
+    frames = list(scanner)
+    return frames, scanner.bytes_skipped

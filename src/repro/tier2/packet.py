@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .bitio import BitReader, BitWriter
+from .framing import CodestreamError
 from .tagtree import TagTree, TagTreeDecoder
 
 __all__ = ["BlockContribution", "BandState", "PacketWriter", "PacketReader"]
@@ -192,13 +193,26 @@ class PacketReader:
         ]
 
     def read_packet(
-        self, data: bytes, layer: int
+        self, data: bytes, layer: int, strict: bool = True
     ) -> tuple:
         """Decode one packet.
 
         Returns ``(contributions, n_bytes_consumed)`` with the same
         nesting as :meth:`PacketWriter.write_packet`.
+
+        Every parse failure -- exhausted header bits, or (in strict
+        mode) block bodies overrunning ``data`` -- raises
+        :class:`~repro.tier2.codestream.CodestreamError`.  With
+        ``strict=False`` over-long bodies are clamped to the bytes
+        actually present (the tier-1 MQ decoder tolerates truncated
+        segments), which is what resilient decoding wants.
         """
+        try:
+            return self._read_packet(data, layer, strict)
+        except EOFError:
+            raise CodestreamError("packet header exhausted the stream") from None
+
+    def _read_packet(self, data: bytes, layer: int, strict: bool) -> tuple:
         r = BitReader(data)
         out: List[List[List[BlockContribution]]] = []
         if r.read_bit() == 0:
@@ -245,6 +259,8 @@ class PacketReader:
                     pending.append((b_idx, by, bx, n_passes, length))
         r.align()
         pos = r.tell_bytes()
+        if strict and pos + sum(p[4] for p in pending) > len(data):
+            raise CodestreamError("packet bodies overrun the stream")
         for b_idx, by, bx, n_passes, length in pending:
             out[b_idx][by][bx] = BlockContribution(n_passes, data[pos : pos + length])
             pos += length

@@ -16,6 +16,7 @@ class TestParser:
             "decode",
             "info",
             "synth",
+            "faults",
             "experiments",
         }
 

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.codec import CodecParams, decode_image, encode_image
 from repro.image import SyntheticSpec, psnr, synthetic_image
+from repro.tier2.codestream import CodestreamError
 
 
 @pytest.fixture(scope="module")
@@ -22,12 +23,12 @@ class TestCorruption:
     def test_truncated_header_raises(self, stream):
         _, data = stream
         for cut in (0, 2, 10):
-            with pytest.raises((ValueError, IndexError, Exception)):
+            with pytest.raises(CodestreamError):
                 decode_image(data[:cut])
 
     def test_flipped_magic_raises(self, stream):
         _, data = stream
-        with pytest.raises(ValueError):
+        with pytest.raises(CodestreamError):
             decode_image(b"XXXX" + data[4:])
 
     @given(st.integers(0, 2**31))
@@ -36,7 +37,7 @@ class TestCorruption:
         """Garbage input must raise, not loop or crash the interpreter."""
         rng = np.random.default_rng(seed)
         junk = bytes(rng.integers(0, 256, size=int(rng.integers(1, 200))))
-        with pytest.raises(Exception):
+        with pytest.raises(CodestreamError):
             decode_image(junk)
 
     def test_bitflip_in_body_decodes_or_raises(self, stream):
