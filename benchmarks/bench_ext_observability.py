@@ -1,0 +1,10 @@
+"""Full-scale extension study: pipeline tracing, worker timelines and
+Amdahl accounting (see the experiment module's docstring)."""
+
+from repro.experiments import ext_observability as _mod
+
+from conftest import run_experiment
+
+
+def test_bench_ext_observability(benchmark):
+    run_experiment(benchmark, _mod)

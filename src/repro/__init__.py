@@ -44,6 +44,13 @@ from .core import (
 from .smp import INTEL_SMP, SGI_POWER_CHALLENGE, SimulatedSMP, MachineSpec
 from .perf import simulate_encode, Workload, scaled_workload, measure_pixel_stats
 from .baselines import jpeg_encode, jpeg_decode, spiht_encode, spiht_decode
+from .obs import (
+    Tracer,
+    MetricsRegistry,
+    amdahl_report,
+    chrome_trace,
+    stage_table,
+)
 
 __version__ = "1.0.0"
 
@@ -82,5 +89,10 @@ __all__ = [
     "jpeg_decode",
     "spiht_encode",
     "spiht_decode",
+    "Tracer",
+    "MetricsRegistry",
+    "amdahl_report",
+    "chrome_trace",
+    "stage_table",
     "__version__",
 ]

@@ -83,6 +83,17 @@ class CacheStats:
             evictions=self.evictions + other.evictions,
         )
 
+    def counters(self) -> dict:
+        """Counter snapshot for the metrics layer
+        (:func:`repro.obs.collect.record_cache_metrics`)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "miss_rate": self.miss_rate,
+        }
+
 
 class TraceCache:
     """Set-associative LRU cache driven by an address trace.

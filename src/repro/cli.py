@@ -7,7 +7,14 @@ Usage::
     python -m repro info   output.rj2k
     python -m repro synth  test.pgm --side 512 [--kind mix] [--seed 0]
     python -m repro faults inject in.rj2k out.rj2k --mode bitflip --rate 1e-4
+    python -m repro trace  encode test.pgm --trace-out t.json --format chrome
+    python -m repro trace  decode out.rj2k --workers 4 --format table
     python -m repro experiments [--quick] [-o EXPERIMENTS.md]
+
+``encode``/``decode`` also take ``--trace`` to print the per-stage
+breakdown (Fig. 3) of that one run; ``trace`` is the full-featured
+version with Chrome-trace / Prometheus / table exporters and the
+Sec. 3.4 Amdahl summary.
 
 The codestream format is this library's own (structurally JPEG2000-like;
 see DESIGN.md); ``info`` prints its parameters and tile layout.
@@ -40,9 +47,18 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         tile_size=args.tile_size,
         resilience=args.resilient,
     )
-    result = encode_image(img, params)
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    result = encode_image(img, params, tracer=tracer)
     with open(args.output, "wb") as fh:
         fh.write(result.data)
+    if tracer is not None:
+        from .obs import stage_table
+
+        print(stage_table(tracer, title=f"encode {args.input}"))
     h, w = result.image_shape
     print(
         f"{args.input}: {h}x{w} -> {result.n_bytes} bytes "
@@ -61,14 +77,83 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 def _cmd_decode(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         data = fh.read()
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     if args.resilient:
-        img, report = decode_image(data, max_layer=args.layer, resilient=True)
+        img, report = decode_image(
+            data, max_layer=args.layer, resilient=True, tracer=tracer
+        )
         print(report.summary())
     else:
-        img = decode_image(data, max_layer=args.layer)
+        img = decode_image(data, max_layer=args.layer, tracer=tracer)
     write_pnm(args.output, img)
     kind = "PPM" if img.ndim == 3 else "PGM"
     print(f"{args.input} -> {args.output} ({kind}, {img.shape[0]}x{img.shape[1]})")
+    if tracer is not None:
+        from .obs import stage_table
+
+        print(stage_table(tracer, title=f"decode {args.input}"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced encode or decode and export the trace."""
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        amdahl_report,
+        chrome_trace_json,
+        record_decode_metrics,
+        record_encode_metrics,
+        record_trace_metrics,
+        stage_table,
+    )
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    if args.trace_command == "encode":
+        img = read_pnm(args.input)
+        params = CodecParams(
+            levels=args.levels,
+            filter_name="5/3" if args.lossless else "9/7",
+            cb_size=args.cb_size,
+            target_bpp=tuple(args.bpp) if args.bpp else None,
+            tile_size=args.tile_size,
+        )
+        result = encode_image(img, params, tracer=tracer)
+        record_encode_metrics(registry, result)
+        title = f"encode {args.input}"
+    else:
+        with open(args.input, "rb") as fh:
+            data = fh.read()
+        out = decode_image(
+            data, n_workers=args.workers, resilient=args.resilient, tracer=tracer
+        )
+        if args.resilient:
+            _, report = out
+            record_decode_metrics(registry, report)
+        title = f"decode {args.input} (n_workers={args.workers})"
+    record_trace_metrics(registry, tracer)
+
+    if args.format == "chrome":
+        text = chrome_trace_json(tracer, indent=2)
+    elif args.format == "prom":
+        text = registry.to_prometheus()
+    else:
+        rep = amdahl_report(tracer, n_cpus=max(args.workers, 2))
+        text = stage_table(tracer, title=title) + "\n\n" + rep.summary()
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.trace_out} ({args.format})")
+        if args.format != "table":
+            # Still give the terminal the one-look summary.
+            print(stage_table(tracer, title=title))
+    else:
+        print(text)
     return 0
 
 
@@ -167,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the v2 error-resilient container (resync framing)",
     )
     enc.add_argument("--verify", action="store_true", help="decode and check")
+    enc.add_argument(
+        "--trace", action="store_true",
+        help="print the per-stage breakdown (Fig. 3) of this encode",
+    )
     enc.set_defaults(fn=_cmd_encode)
 
     dec = sub.add_parser("decode", help="decode to PGM/PPM")
@@ -177,7 +266,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--resilient", action="store_true",
         help="conceal damage instead of failing; print a DecodeReport",
     )
+    dec.add_argument(
+        "--trace", action="store_true",
+        help="print the per-stage breakdown (Fig. 3) of this decode",
+    )
     dec.set_defaults(fn=_cmd_decode)
+
+    trc = sub.add_parser(
+        "trace", help="run one traced encode/decode and export the trace"
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    tenc = trc_sub.add_parser("encode", help="trace one encode")
+    tenc.add_argument("input")
+    tenc.add_argument("--lossless", action="store_true")
+    tenc.add_argument("--levels", type=int, default=5)
+    tenc.add_argument("--cb-size", type=int, default=64)
+    tenc.add_argument("--bpp", type=float, nargs="*", default=None)
+    tenc.add_argument("--tile-size", type=int, default=0)
+    tdec = trc_sub.add_parser("decode", help="trace one decode")
+    tdec.add_argument("input")
+    tdec.add_argument("--resilient", action="store_true")
+    for p in (tenc, tdec):
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="worker threads for the parallel stages (decode) and the "
+            "CPU count of the Amdahl summary",
+        )
+        p.add_argument(
+            "--trace-out", default=None,
+            help="write the export here instead of stdout",
+        )
+        p.add_argument(
+            "--format", choices=("chrome", "prom", "table"), default="table",
+            help="chrome://tracing JSON, Prometheus text, or a stage table",
+        )
+        p.set_defaults(fn=_cmd_trace)
 
     info = sub.add_parser("info", help="print codestream parameters")
     info.add_argument("input")

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs.tracer import StageSwitcher, stage_span
 from ..quant.deadzone import DeadzoneQuantizer
 from ..tier2.codestream import CodestreamError, read_codestream, scan_codestream
 from ..tier2.framing import collect_frames, parse_frame_at
@@ -51,6 +52,7 @@ def decode_image(
     max_layer: Optional[int] = None,
     n_workers: int = 1,
     resilient: bool = False,
+    tracer=None,
 ) -> Union[np.ndarray, Tuple[np.ndarray, DecodeReport]]:
     """Decode a codestream produced by :func:`repro.codec.encode_image`.
 
@@ -70,6 +72,10 @@ def decode_image(
         v2 resync framing where present, drop damaged packets, zero-fill
         lost code-blocks, and return ``(image, DecodeReport)``.  The
         image always has the full size the (recovered) header promises.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records decode-side stage
+        spans (mirroring the encoder's Fig.-3 names) and per-worker
+        tier-1 task records.  ``None`` (default) allocates no spans.
 
     Returns
     -------
@@ -77,32 +83,34 @@ def decode_image(
         The reconstructed image, dtype ``uint8``/``uint16`` by bit depth.
     """
     report: Optional[DecodeReport] = None
-    if resilient:
-        stream, scan = scan_codestream(data)
-        report = DecodeReport(
-            framed=stream.params.resilient,
-            header_recovered=scan.header_recovered,
-            container_bytes_skipped=scan.bytes_skipped,
-            notes=list(scan.notes),
+    with stage_span(tracer, "bitstream I/O"):
+        if resilient:
+            stream, scan = scan_codestream(data)
+            report = DecodeReport(
+                framed=stream.params.resilient,
+                header_recovered=scan.header_recovered,
+                container_bytes_skipped=scan.bytes_skipped,
+                notes=list(scan.notes),
+            )
+        else:
+            stream = read_codestream(data)
+    with stage_span(tracer, "pipeline setup"):
+        p = stream.params
+        cparams = CodecParams(
+            levels=min(p.levels, 32),
+            filter_name=p.filter_name,
+            cb_size=p.cb_size,
+            base_step=p.base_step,
+            tile_size=p.tile_size,
+            bit_depth=p.bit_depth,
+            resilience=p.resilient,
         )
-    else:
-        stream = read_codestream(data)
-    p = stream.params
-    cparams = CodecParams(
-        levels=min(p.levels, 32),
-        filter_name=p.filter_name,
-        cb_size=p.cb_size,
-        base_step=p.base_step,
-        tile_size=p.tile_size,
-        bit_depth=p.bit_depth,
-        resilience=p.resilient,
-    )
-    n_layers = p.n_layers if max_layer is None else min(p.n_layers, max_layer + 1)
-    shift = 1 << (p.bit_depth - 1)
-    planes = [
-        np.zeros((p.height, p.width), dtype=np.float64)
-        for _ in range(p.n_components)
-    ]
+        n_layers = p.n_layers if max_layer is None else min(p.n_layers, max_layer + 1)
+        shift = 1 << (p.bit_depth - 1)
+        planes = [
+            np.zeros((p.height, p.width), dtype=np.float64)
+            for _ in range(p.n_components)
+        ]
 
     tile_size = p.tile_size if p.tile_size > 0 else max(p.height, p.width)
     part_idx = 0
@@ -129,6 +137,7 @@ def decode_image(
                         n_workers=n_workers,
                         framed=p.resilient,
                         stats=stats,
+                        tracer=tracer,
                     )
                 except Exception as exc:
                     if report is None:
@@ -146,24 +155,26 @@ def decode_image(
                 planes[comp][y0 : y0 + tile_h, x0 : x0 + tile_w] = tile
                 part_idx += 1
 
-    if p.n_components == 3:
-        from .color import ict_inverse, rct_inverse
+    with stage_span(tracer, "inter-component transform"):
+        if p.n_components == 3:
+            from .color import ict_inverse, rct_inverse
 
-        if p.filter_name == "5/3":
-            out = rct_inverse(
-                np.rint(planes[0]).astype(np.int64),
-                np.rint(planes[1]).astype(np.int64),
-                np.rint(planes[2]).astype(np.int64),
-            ).astype(np.float64)
+            if p.filter_name == "5/3":
+                out = rct_inverse(
+                    np.rint(planes[0]).astype(np.int64),
+                    np.rint(planes[1]).astype(np.int64),
+                    np.rint(planes[2]).astype(np.int64),
+                ).astype(np.float64)
+            else:
+                out = ict_inverse(planes[0], planes[1], planes[2])
         else:
-            out = ict_inverse(planes[0], planes[1], planes[2])
-    else:
-        out = planes[0]
+            out = planes[0]
 
-    out += shift
-    peak = (1 << p.bit_depth) - 1
-    out = np.clip(np.rint(out), 0, peak)
-    img = out.astype(np.uint8 if p.bit_depth <= 8 else np.uint16)
+    with stage_span(tracer, "image I/O"):
+        out += shift
+        peak = (1 << p.bit_depth) - 1
+        out = np.clip(np.rint(out), 0, peak)
+        img = out.astype(np.uint8 if p.bit_depth <= 8 else np.uint16)
     if report is not None:
         return img, report
     return img
@@ -205,6 +216,7 @@ def _decode_tile(
     n_workers: int = 1,
     framed: bool = False,
     stats: Optional[TileStats] = None,
+    tracer=None,
 ) -> np.ndarray:
     """Decode one tile's packet payload into pixel values (pre-shift).
 
@@ -213,6 +225,34 @@ def _decode_tile(
     :class:`CodestreamError`.
     """
     resilient = stats is not None
+
+    stages = StageSwitcher(tracer)
+    try:
+        return _decode_tile_staged(
+            payload, tile_h, tile_w, params, n_layers_total, n_layers_decode,
+            roi_shift, n_workers, framed, stats, tracer, stages,
+        )
+    finally:
+        stages.finish()
+
+
+def _decode_tile_staged(
+    payload: bytes,
+    tile_h: int,
+    tile_w: int,
+    params: CodecParams,
+    n_layers_total: int,
+    n_layers_decode: int,
+    roi_shift: int,
+    n_workers: int,
+    framed: bool,
+    stats: Optional[TileStats],
+    tracer,
+    stages: StageSwitcher,
+) -> np.ndarray:
+    """Body of :func:`_decode_tile`; ``stages`` marks stage boundaries."""
+    resilient = stats is not None
+    stages.switch("tier-2 coding")
 
     # -- tile header: decomposition depth + per-band plane table -----------
     if framed:
@@ -338,6 +378,7 @@ def _decode_tile(
 
     # -- tier-1 decode every included block (optionally on a worker pool --
     # code-block decoding is as independent as encoding) -------------------
+    stages.switch("tier-1 coding")
     jobs = []
     job_keys = []
     for r_idx, keys in enumerate(res_keys):
@@ -367,11 +408,14 @@ def _decode_tile(
     from ..core.parallel import parallel_decode_blocks
 
     outs = parallel_decode_blocks(
-        jobs, n_workers=n_workers, on_error="conceal" if resilient else "raise"
+        jobs,
+        n_workers=n_workers,
+        on_error="conceal" if resilient else "raise",
+        stats=stats,
+        tracer=tracer,
     )
-    if stats is not None:
-        stats.blocks_concealed += sum(1 for o in outs if o is None)
     decoded = {k: o for k, o in zip(job_keys, outs) if o is not None}
+    stages.switch("quantization")
 
     def band_array(key: Tuple[int, str]) -> np.ndarray:
         layout = layouts[key]
@@ -437,6 +481,7 @@ def _decode_tile(
     sb = Subbands(
         ll=ll, details=details, shape=(tile_h, tile_w), filter_name=params.filter_name
     )
+    stages.switch("intra-component transform")
     rec = idwt2d(sb)
     return np.asarray(rec, dtype=np.float64)
 

@@ -100,6 +100,7 @@ def encode_image(
     image: np.ndarray,
     params: CodecParams,
     roi_mask: Optional[np.ndarray] = None,
+    tracer=None,
 ) -> EncodeResult:
     """Encode a grayscale ``(H, W)`` or color ``(H, W, 3)`` image.
 
@@ -115,8 +116,12 @@ def encode_image(
     optimizes across all components jointly, and ``rate_bpp`` counts
     total bits per image pixel.  See the module docstring for the stage
     pipeline.
+
+    ``tracer`` (optional, a :class:`repro.obs.Tracer`) records one span
+    per stage with the work counters attached; ``None`` (the default)
+    allocates no spans.
     """
-    report = EncoderReport()
+    report = EncoderReport(tracer=tracer)
 
     with report.timed("image I/O") as st:
         img = np.asarray(image)

@@ -1,9 +1,20 @@
 """Per-stage instrumentation of the coding pipeline.
 
-Collects, per pipeline stage, wall-clock seconds (a Python artifact, for
-profiling only) and the *work statistics* the performance model consumes:
+A thin adapter over the observability layer (:mod:`repro.obs`): the
+canonical stage names live in :data:`repro.obs.tracer.STAGE_NAMES` and
+the span machinery in :class:`repro.obs.Tracer`; this module keeps the
+:class:`EncoderReport` API the experiments and the performance model
+consume -- per stage, wall-clock seconds (a Python artifact, for
+profiling only) and the *work statistics* the performance model needs:
 sweep geometry for the DWT, MQ decision counts for tier-1, sample and
-byte counts elsewhere.  Stage names follow Fig. 3 of the paper:
+byte counts elsewhere.
+
+Constructed with a :class:`~repro.obs.Tracer`, the report additionally
+emits one ``category="stage"`` span per ``timed()`` block (carrying the
+work counters accumulated inside it), with the Sec. 3.2/3.3 stages
+marked ``parallel=True`` so :func:`repro.obs.amdahl_report` can measure
+the sequential fraction.  Without a tracer (the default) no spans are
+allocated.  Stage names follow Fig. 3 of the paper:
 
     image I/O, pipeline setup, inter-component transform,
     intra-component transform, quantization, tier-1 coding,
@@ -12,25 +23,15 @@ byte counts elsewhere.  Stage names follow Fig. 3 of the paper:
 
 from __future__ import annotations
 
+import numbers
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, Optional
+
+from ..obs.tracer import PARALLEL_STAGES, STAGE_NAMES, Tracer
 
 __all__ = ["StageStats", "EncoderReport", "STAGE_NAMES"]
-
-#: Canonical stage order (Fig. 3's legend, bottom to top).
-STAGE_NAMES = (
-    "image I/O",
-    "pipeline setup",
-    "inter-component transform",
-    "intra-component transform",
-    "quantization",
-    "tier-1 coding",
-    "R/D allocation",
-    "tier-2 coding",
-    "bitstream I/O",
-)
 
 
 @dataclass
@@ -42,19 +43,35 @@ class StageStats:
     work: Dict[str, Any] = field(default_factory=dict)
 
     def add_work(self, **counters: Any) -> None:
-        """Accumulate work counters (numbers add; lists extend)."""
+        """Accumulate work counters (numbers add; lists extend).
+
+        Anything else (strings, dicts, ...) raises ``TypeError`` --
+        silently "adding" a non-numeric scalar would corrupt the work
+        statistics the performance model is calibrated on.
+        """
         for key, value in counters.items():
             if isinstance(value, list):
                 self.work.setdefault(key, []).extend(value)
-            else:
+            elif isinstance(value, numbers.Number) and not isinstance(value, bool):
                 self.work[key] = self.work.get(key, 0) + value
+            else:
+                raise TypeError(
+                    f"work counter {key!r} must be a number or list, "
+                    f"got {type(value).__name__}"
+                )
 
 
 @dataclass
 class EncoderReport:
-    """Instrumentation for one encode run."""
+    """Instrumentation for one encode run.
+
+    ``tracer`` is optional; when present every ``timed()`` block also
+    records a stage span (the zero-cost-by-default contract: no tracer,
+    no spans).
+    """
 
     stages: Dict[str, StageStats] = field(default_factory=dict)
+    tracer: Optional[Tracer] = None
 
     def stage(self, name: str) -> StageStats:
         if name not in STAGE_NAMES:
@@ -67,11 +84,30 @@ class EncoderReport:
     def timed(self, name: str) -> Iterator[StageStats]:
         """Context manager accumulating wall time into a stage."""
         st = self.stage(name)
-        t0 = time.perf_counter()
-        try:
-            yield st
-        finally:
-            st.seconds += time.perf_counter() - t0
+        if self.tracer is None:
+            t0 = time.perf_counter()
+            try:
+                yield st
+            finally:
+                st.seconds += time.perf_counter() - t0
+        else:
+            before = {
+                k: v for k, v in st.work.items() if isinstance(v, numbers.Number)
+            }
+            with self.tracer.span(
+                name, category="stage", parallel=name in PARALLEL_STAGES
+            ) as span:
+                try:
+                    yield st
+                finally:
+                    # span.t1 is stamped when the span context exits,
+                    # after this finally; read the clock directly.
+                    st.seconds += self.tracer.now() - span.t0
+                    for k, v in st.work.items():
+                        if isinstance(v, numbers.Number):
+                            delta = v - before.get(k, 0)
+                            if delta:
+                                span.attrs[k] = delta
 
     def total_seconds(self) -> float:
         return sum(s.seconds for s in self.stages.values())

@@ -57,9 +57,18 @@ def _split_ranges(n: int, parts: int) -> List[Tuple[int, int]]:
 
 
 def _parallel_1d(
-    data: np.ndarray, bank, pool: Optional[ThreadPoolExecutor], n_workers: int
+    data: np.ndarray,
+    bank,
+    pool: Optional[ThreadPoolExecutor],
+    n_workers: int,
+    ph=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """One filtering sweep along axis 0, columns statically partitioned."""
+    """One filtering sweep along axis 0, columns statically partitioned.
+
+    ``ph`` (an :class:`repro.obs.PhaseRecorder`, optional) records one
+    task per column slab -- worker id, queue wait, and the barrier wait
+    until the slowest slab finishes.
+    """
     n_cols = data.shape[1]
     n = data.shape[0]
     n_low, n_high = (n + 1) // 2, n // 2
@@ -72,7 +81,11 @@ def _parallel_1d(
         a, b = rng
         if a == b:
             return
-        lo, hi = dwt1d(data[:, a:b], bank)
+        if ph is not None:
+            with ph.task(f"cols[{a}:{b}]", columns=b - a):
+                lo, hi = dwt1d(data[:, a:b], bank)
+        else:
+            lo, hi = dwt1d(data[:, a:b], bank)
         low[:, a:b] = lo
         high[:, a:b] = hi
 
@@ -86,13 +99,22 @@ def _parallel_1d(
 
 
 def parallel_dwt2d(
-    image: np.ndarray, levels: int, filter_name: str = "9/7", n_workers: int = 1
+    image: np.ndarray,
+    levels: int,
+    filter_name: str = "9/7",
+    n_workers: int = 1,
+    tracer=None,
 ) -> Subbands:
     """Multilevel 2-D DWT with statically partitioned parallel sweeps.
 
     Bit-identical to :func:`repro.wavelet.dwt2d` (tested): parallelism
     only re-orders independent column/row slabs.  A barrier separates the
     vertical and horizontal filtering of each level, as in the paper.
+
+    ``tracer`` (optional :class:`repro.obs.Tracer`) records one barrier
+    phase per sweep -- ``DWT vertical L<n>`` / ``DWT horizontal L<n>`` --
+    with per-worker slab tasks, queue waits, and the barrier wait between
+    the vertical and horizontal sweeps of each level.
     """
     bank = get_filter(filter_name)
     a = np.asarray(image)
@@ -104,10 +126,21 @@ def parallel_dwt2d(
     details: List[Dict[str, np.ndarray]] = []
     pool = ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
     try:
-        for _ in range(levels):
-            low_v, high_v = _parallel_1d(current, bank, pool, n_workers)
-            ll_t, hl_t = _parallel_1d(np.ascontiguousarray(low_v.T), bank, pool, n_workers)
-            lh_t, hh_t = _parallel_1d(np.ascontiguousarray(high_v.T), bank, pool, n_workers)
+        for lvl in range(1, levels + 1):
+            if tracer is None:
+                low_v, high_v = _parallel_1d(current, bank, pool, n_workers)
+                ll_t, hl_t = _parallel_1d(np.ascontiguousarray(low_v.T), bank, pool, n_workers)
+                lh_t, hh_t = _parallel_1d(np.ascontiguousarray(high_v.T), bank, pool, n_workers)
+            else:
+                with tracer.phase(f"DWT vertical L{lvl}") as ph:
+                    low_v, high_v = _parallel_1d(current, bank, pool, n_workers, ph)
+                with tracer.phase(f"DWT horizontal L{lvl}") as ph:
+                    ll_t, hl_t = _parallel_1d(
+                        np.ascontiguousarray(low_v.T), bank, pool, n_workers, ph
+                    )
+                    lh_t, hh_t = _parallel_1d(
+                        np.ascontiguousarray(high_v.T), bank, pool, n_workers, ph
+                    )
             details.append(
                 {
                     "HL": np.ascontiguousarray(hl_t.T),
@@ -122,14 +155,20 @@ def parallel_dwt2d(
     return Subbands(ll=current, details=details, shape=a.shape, filter_name=filter_name)
 
 
-def parallel_idwt2d(subbands: Subbands, n_workers: int = 1) -> np.ndarray:
-    """Inverse of :func:`parallel_dwt2d` with the same partitioning."""
+def parallel_idwt2d(
+    subbands: Subbands, n_workers: int = 1, tracer=None
+) -> np.ndarray:
+    """Inverse of :func:`parallel_dwt2d` with the same partitioning.
+
+    ``tracer`` records the mirrored barrier phases (``IDWT horizontal
+    L<n>`` / ``IDWT vertical L<n>``) with per-worker slab tasks.
+    """
     bank = get_filter(subbands.filter_name)
     if n_workers < 1:
         raise ValueError("need at least one worker")
     pool = ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
 
-    def inv_sweep(low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    def inv_sweep(low: np.ndarray, high: np.ndarray, ph=None) -> np.ndarray:
         n_cols = low.shape[1]
         ranges = _split_ranges(n_cols, n_workers)
         n = low.shape[0] + high.shape[0]
@@ -139,7 +178,11 @@ def parallel_idwt2d(subbands: Subbands, n_workers: int = 1) -> np.ndarray:
             a, b = rng
             if a == b:
                 return
-            out[:, a:b] = idwt1d(low[:, a:b], high[:, a:b], bank)
+            if ph is not None:
+                with ph.task(f"cols[{a}:{b}]", columns=b - a):
+                    out[:, a:b] = idwt1d(low[:, a:b], high[:, a:b], bank)
+            else:
+                out[:, a:b] = idwt1d(low[:, a:b], high[:, a:b], bank)
 
         if pool is None or len(ranges) == 1:
             for rng in ranges:
@@ -148,18 +191,27 @@ def parallel_idwt2d(subbands: Subbands, n_workers: int = 1) -> np.ndarray:
             list(pool.map(work, ranges))
         return out
 
+    def traced_sweep(name: str, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        if tracer is None:
+            return inv_sweep(low, high)
+        with tracer.phase(name) as ph:
+            return inv_sweep(low, high, ph)
+
     try:
         current = subbands.ll
         for level in range(subbands.levels, 0, -1):
             bands = subbands.details[level - 1]
-            low_v = inv_sweep(
-                np.ascontiguousarray(current.T), np.ascontiguousarray(bands["HL"].T)
+            low_v = traced_sweep(
+                f"IDWT horizontal L{level}",
+                np.ascontiguousarray(current.T), np.ascontiguousarray(bands["HL"].T),
             ).T
-            high_v = inv_sweep(
-                np.ascontiguousarray(bands["LH"].T), np.ascontiguousarray(bands["HH"].T)
+            high_v = traced_sweep(
+                f"IDWT horizontal L{level}",
+                np.ascontiguousarray(bands["LH"].T), np.ascontiguousarray(bands["HH"].T),
             ).T
-            current = inv_sweep(
-                np.ascontiguousarray(low_v), np.ascontiguousarray(high_v)
+            current = traced_sweep(
+                f"IDWT vertical L{level}",
+                np.ascontiguousarray(low_v), np.ascontiguousarray(high_v),
             )
     finally:
         if pool is not None:
@@ -171,33 +223,52 @@ def parallel_encode_blocks(
     blocks: Sequence[Tuple[np.ndarray, str]],
     n_workers: int = 1,
     scheduler=staggered_round_robin,
+    tracer=None,
 ) -> List[EncodedBlock]:
     """Tier-1 code every block on a worker pool.
 
     ``blocks`` are ``(coefficients, orientation)`` pairs in scan order;
     the scheduler (default: the paper's staggered round robin) deals them
     to workers.  Results return in the input order regardless of the
-    schedule.
+    schedule.  ``tracer`` records one ``tier-1 encode pool`` phase with
+    one task per code-block (worker id from the schedule).
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
     indexed = list(enumerate(blocks))
     results: List[Optional[EncodedBlock]] = [None] * len(indexed)
-    if n_workers == 1 or len(indexed) <= 1:
-        for i, (coeffs, orient) in indexed:
-            results[i] = encode_codeblock(coeffs, orient)
-        return [r for r in results if r is not None]
-    assignment = scheduler(indexed, n_workers)
 
-    def work(items) -> None:
-        for i, (coeffs, orient) in items:
+    def encode_one(i: int, coeffs, orient: str, worker: int, ph) -> None:
+        if ph is not None:
+            with ph.task(f"cb-{i}", worker=worker, block=i):
+                results[i] = encode_codeblock(coeffs, orient)
+        else:
             results[i] = encode_codeblock(coeffs, orient)
 
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        list(pool.map(work, assignment))
-    missing = [i for i, r in enumerate(results) if r is None]
-    if missing:  # pragma: no cover - defensive
-        raise RuntimeError(f"blocks not coded: {missing}")
+    def run(ph) -> None:
+        if n_workers == 1 or len(indexed) <= 1:
+            for i, (coeffs, orient) in indexed:
+                encode_one(i, coeffs, orient, 0, ph)
+            return
+        assignment = scheduler(indexed, n_workers)
+
+        def work(share) -> None:
+            w, items = share
+            for i, (coeffs, orient) in items:
+                encode_one(i, coeffs, orient, w, ph)
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            list(pool.map(work, list(enumerate(assignment))))
+
+    if tracer is None:
+        run(None)
+    else:
+        with tracer.phase("tier-1 encode pool", n_blocks=len(indexed)) as ph:
+            run(ph)
+    if n_workers > 1 and len(indexed) > 1:
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise RuntimeError(f"blocks not coded: {missing}")
     return [r for r in results if r is not None]
 
 
@@ -206,6 +277,9 @@ def parallel_decode_blocks(
     n_workers: int = 1,
     scheduler=staggered_round_robin,
     on_error: str = "raise",
+    stats=None,
+    tracer=None,
+    metrics=None,
 ) -> List[Optional[Tuple["np.ndarray", int]]]:
     """Tier-1 decode every block on a worker pool (decoder-side twin of
     :func:`parallel_encode_blocks`).
@@ -222,6 +296,16 @@ def parallel_decode_blocks(
     exceptions and returns ``None`` in that block's slot; the caller
     zero-fills.  Either way the outcome is identical for any
     ``n_workers`` because capture happens per task, not per worker.
+
+    Concealment accounting happens *here*, where the failures are
+    observed: ``stats`` (a :class:`~repro.codec.resilience.TileStats`
+    or anything with a ``blocks_concealed`` attribute) has each
+    concealed block added to it, and ``metrics`` (a
+    :class:`~repro.obs.MetricsRegistry`) gets the
+    ``repro_blocks_concealed_total`` counter incremented, so the
+    resilience reports and scraped metrics always agree.  ``tracer``
+    records one ``tier-1 decode pool`` phase with a per-block task
+    (failed blocks are tagged ``concealed``).
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -231,25 +315,42 @@ def parallel_decode_blocks(
     results: List[Optional[Tuple[np.ndarray, int]]] = [None] * len(indexed)
     errors: List[Optional[BaseException]] = [None] * len(indexed)
 
-    def decode_one(i: int, args) -> None:
+    def decode_one(i: int, args, worker: int, ph) -> None:
         data, shape, orient, n_planes, n_passes = args
+        rec = None
         try:
-            results[i] = decode_codeblock(data, shape, orient, n_planes, n_passes)
+            if ph is not None:
+                with ph.task(f"cb-{i}", worker=worker, block=i) as rec:
+                    results[i] = decode_codeblock(
+                        data, shape, orient, n_planes, n_passes
+                    )
+            else:
+                results[i] = decode_codeblock(data, shape, orient, n_planes, n_passes)
         except Exception as exc:
             errors[i] = exc
+            if rec is not None:
+                rec.attrs["concealed"] = True
 
-    if n_workers == 1 or len(indexed) <= 1:
-        for i, args in indexed:
-            decode_one(i, args)
-    else:
+    def run(ph) -> None:
+        if n_workers == 1 or len(indexed) <= 1:
+            for i, args in indexed:
+                decode_one(i, args, 0, ph)
+            return
         assignment = scheduler(indexed, n_workers)
 
-        def work(items) -> None:
+        def work(share) -> None:
+            w, items = share
             for i, args in items:
-                decode_one(i, args)
+                decode_one(i, args, w, ph)
 
         with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            list(pool.map(work, assignment))
+            list(pool.map(work, list(enumerate(assignment))))
+
+    if tracer is None:
+        run(None)
+    else:
+        with tracer.phase("tier-1 decode pool", n_blocks=len(indexed)) as ph:
+            run(ph)
 
     if on_error == "raise":
         for err in errors:
@@ -259,16 +360,27 @@ def parallel_decode_blocks(
         if missing:  # pragma: no cover - defensive
             raise RuntimeError(f"blocks not decoded: {missing}")
         return results
+
+    concealed = sum(1 for err in errors if err is not None)
+    if concealed:
+        if stats is not None:
+            stats.blocks_concealed += concealed
+        if metrics is not None:
+            metrics.counter(
+                "repro_blocks_concealed_total",
+                "code-blocks concealed (zero-filled)",
+            ).inc(concealed)
     return results
 
 
 def parallel_quantize(
-    coeffs: np.ndarray, step: float, n_workers: int = 1
+    coeffs: np.ndarray, step: float, n_workers: int = 1, tracer=None
 ) -> np.ndarray:
     """Dead-zone quantization with coefficient chunks across workers.
 
     "Every processor may have a chunk of coefficients from the wavelet
-    transform which it has to quantize" (Sec. 3.3).
+    transform which it has to quantize" (Sec. 3.3).  ``tracer`` records
+    one ``quantization chunks`` phase with a task per chunk.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -276,15 +388,27 @@ def parallel_quantize(
     out = np.empty(flat.shape, dtype=np.int32)
     ranges = _split_ranges(flat.size, n_workers)
 
-    def work(rng: Tuple[int, int]) -> None:
+    def work(rng: Tuple[int, int], ph=None) -> None:
         a, b = rng
-        if a != b:
+        if a == b:
+            return
+        if ph is not None:
+            with ph.task(f"chunk[{a}:{b}]", samples=b - a):
+                out[a:b] = quantize(flat[a:b], step)
+        else:
             out[a:b] = quantize(flat[a:b], step)
 
-    if n_workers == 1 or len(ranges) == 1:
-        for rng in ranges:
-            work(rng)
+    def run(ph) -> None:
+        if n_workers == 1 or len(ranges) == 1:
+            for rng in ranges:
+                work(rng, ph)
+        else:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                list(pool.map(lambda rng: work(rng, ph), ranges))
+
+    if tracer is None:
+        run(None)
     else:
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            list(pool.map(work, ranges))
+        with tracer.phase("quantization chunks", samples=flat.size) as ph:
+            run(ph)
     return out.reshape(coeffs.shape)

@@ -19,6 +19,7 @@ Every module exposes ``run(quick=False) -> ExperimentResult``:
 ``sec34_amdahl``       Theoretical (Amdahl) vs measured speedups
 ``ext_decoder``        Extension: the techniques applied to decoding
 ``ext_message_passing``  Extension: SMP vs message-passing clusters
+``ext_observability``  Extension: tracing, worker timelines, Amdahl accounting
 ``ext_resilience``     Extension: resilient decoding under injected faults
 =====================  =====================================================
 
@@ -43,6 +44,7 @@ def all_experiments():
     from . import (
         ext_decoder,
         ext_message_passing,
+        ext_observability,
         ext_resilience,
         fig02_timings,
         fig03_serial,
@@ -77,6 +79,7 @@ def all_experiments():
         sec34_amdahl,
         ext_decoder,
         ext_message_passing,
+        ext_observability,
         ext_resilience,
     ]
     return {m.__name__.rsplit(".", 1)[-1]: m for m in mods}

@@ -1,0 +1,74 @@
+"""Observability layer: tracing, metrics, exporters, Amdahl accounting.
+
+The paper's whole argument is a measurement -- Fig. 3's per-stage
+breakdown, Figs. 7-11's filtering timelines, Sec. 3.4's sequential
+fraction.  This package makes those measurements first-class on both
+codec paths:
+
+- :class:`Tracer` -- nested spans with wall-clock and work counters,
+  per-worker task records (queue wait, barrier wait) from the parallel
+  code paths;
+- :class:`MetricsRegistry` -- counters/gauges/histograms with Prometheus
+  text exposition (:func:`parse_prometheus` reads it back);
+- exporters -- Chrome ``chrome://tracing`` JSON
+  (:func:`chrome_trace`), terminal stage tables (:func:`stage_table`);
+- :func:`amdahl_report` -- the observed sequential fraction and the
+  speedup bound it implies, computed straight from a trace via
+  :mod:`repro.core.amdahl`.
+
+Tracing is zero-cost by default: every instrumented call site takes
+``tracer=None`` and allocates no spans on that path.
+"""
+
+from .tracer import (
+    PARALLEL_STAGES,
+    STAGE_NAMES,
+    PhaseRecorder,
+    Span,
+    StageSwitcher,
+    TaskRecord,
+    Tracer,
+    stage_span,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .export import chrome_trace, chrome_trace_json, stage_table
+from .amdahl import AmdahlReport, amdahl_report
+from .collect import (
+    record_cache_metrics,
+    record_decode_metrics,
+    record_encode_metrics,
+    record_packet_metrics,
+    record_trace_metrics,
+)
+
+__all__ = [
+    "STAGE_NAMES",
+    "PARALLEL_STAGES",
+    "Tracer",
+    "Span",
+    "TaskRecord",
+    "PhaseRecorder",
+    "StageSwitcher",
+    "stage_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "chrome_trace",
+    "chrome_trace_json",
+    "stage_table",
+    "AmdahlReport",
+    "amdahl_report",
+    "record_encode_metrics",
+    "record_decode_metrics",
+    "record_trace_metrics",
+    "record_cache_metrics",
+    "record_packet_metrics",
+]

@@ -1,0 +1,85 @@
+"""Amdahl accounting straight from a trace (Sec. 3.4, measured).
+
+The paper derives its theoretical speedup ceiling from the *measured*
+serial profile: the runtime of the stages it cannot parallelize divides
+the achievable speedup.  :func:`amdahl_report` performs that same
+derivation on a recorded trace -- stage spans marked ``parallel=True``
+(the Sec. 3.2/3.3 stages) form the parallelizable share, everything
+else is sequential -- and reuses :mod:`repro.core.amdahl` for the
+arithmetic, so the observed bound is numerically consistent with the
+simulated one in ``sec34_amdahl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.amdahl import amdahl_speedup, serial_fraction
+from .tracer import Tracer
+
+__all__ = ["AmdahlReport", "amdahl_report"]
+
+
+@dataclass(frozen=True)
+class AmdahlReport:
+    """Observed sequential fraction and the speedup bound it implies."""
+
+    serial_seconds: float
+    parallel_seconds: float
+    sequential_fraction: float
+    n_cpus: int
+    max_speedup: float
+    serial_stages: Tuple[str, ...]
+    parallel_stages: Tuple[str, ...]
+
+    @property
+    def asymptotic_speedup(self) -> float:
+        """The ``n -> inf`` ceiling, ``1/f`` (inf when f == 0)."""
+        if self.sequential_fraction == 0.0:
+            return float("inf")
+        return 1.0 / self.sequential_fraction
+
+    def speedup_at(self, n_cpus: int) -> float:
+        return amdahl_speedup(self.serial_seconds, self.parallel_seconds, n_cpus)
+
+    def summary(self) -> str:
+        return (
+            f"amdahl (observed): sequential fraction "
+            f"{self.sequential_fraction:.3f} "
+            f"({self.serial_seconds:.4f}s serial / "
+            f"{self.parallel_seconds:.4f}s parallelizable); "
+            f"max speedup {self.max_speedup:.2f}x on {self.n_cpus} CPUs, "
+            f"{self.asymptotic_speedup:.2f}x asymptotic"
+        )
+
+
+def amdahl_report(tracer: Tracer, n_cpus: int = 4) -> AmdahlReport:
+    """Sequential fraction and speedup bound measured from stage spans.
+
+    Aggregates every ``category="stage"`` span: spans recorded with
+    ``parallel=True`` (the paper's DWT, quantization and tier-1 stages)
+    are the parallelizable share ``p``; the rest is the sequential share
+    ``s``.  Raises ``ValueError`` when the trace carries no stage spans
+    at all -- an Amdahl bound from an empty profile would be meaningless.
+    """
+    serial: Dict[str, float] = {}
+    parallel: Dict[str, float] = {}
+    for sp in tracer.spans:
+        if sp.category != "stage":
+            continue
+        bucket = parallel if sp.parallel else serial
+        bucket[sp.name] = bucket.get(sp.name, 0.0) + sp.seconds
+    if not serial and not parallel:
+        raise ValueError("trace has no stage spans to analyze")
+    s = sum(serial.values())
+    p = sum(parallel.values())
+    return AmdahlReport(
+        serial_seconds=s,
+        parallel_seconds=p,
+        sequential_fraction=serial_fraction(s, p),
+        n_cpus=n_cpus,
+        max_speedup=amdahl_speedup(s, p, n_cpus),
+        serial_stages=tuple(sorted(serial)),
+        parallel_stages=tuple(sorted(parallel)),
+    )

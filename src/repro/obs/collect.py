@@ -1,0 +1,125 @@
+"""Adapters from pipeline results to the metrics registry.
+
+The hot paths stay metrics-free (tracing and metrics are both opt-in);
+these helpers derive the interesting counters *after the fact* from the
+reports the pipeline already produces: an
+:class:`~repro.codec.encoder.EncodeResult`, a resilient-decode
+:class:`~repro.codec.resilience.DecodeReport`, a recorded
+:class:`~repro.obs.tracer.Tracer`, or a cache-simulation
+:class:`~repro.cachesim.CacheStats`.  Everything is duck-typed so this
+module imports none of those packages (no import cycles).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "record_encode_metrics",
+    "record_decode_metrics",
+    "record_trace_metrics",
+    "record_cache_metrics",
+    "record_packet_metrics",
+]
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_]+", "_", name).strip("_").lower()
+
+
+def record_encode_metrics(registry: MetricsRegistry, result) -> None:
+    """Counters from one :class:`EncodeResult`."""
+    registry.counter(
+        "repro_blocks_coded_total", "code-blocks tier-1 coded"
+    ).inc(len(result.blocks))
+    registry.counter(
+        "repro_mq_decisions_total", "MQ-coder decisions made"
+    ).inc(sum(rec.decisions for rec in result.blocks))
+    registry.counter(
+        "repro_bytes_emitted_total", "codestream bytes written"
+    ).inc(result.n_bytes)
+    h, w = result.image_shape
+    registry.counter(
+        "repro_samples_coded_total", "image samples pushed through the pipeline"
+    ).inc(h * w)
+    registry.gauge(
+        "repro_rate_bpp", "achieved rate of the last encode (bits/pixel)"
+    ).set(result.rate_bpp())
+
+
+def record_decode_metrics(registry: MetricsRegistry, report) -> None:
+    """Counters from one resilient-decode :class:`DecodeReport`."""
+    registry.counter(
+        "repro_packets_expected_total", "packets the codestream promised"
+    ).inc(report.packets_total)
+    registry.counter(
+        "repro_packets_dropped_total", "packets dropped by the resilient decoder"
+    ).inc(report.packets_dropped)
+    registry.counter(
+        "repro_blocks_concealed_total", "code-blocks concealed (zero-filled)"
+    ).inc(report.blocks_concealed)
+    registry.counter(
+        "repro_decode_bytes_skipped_total", "bytes skipped while resynchronizing"
+    ).inc(report.bytes_skipped)
+    registry.counter(
+        "repro_tiles_concealed_total", "tile-parts zero-filled entirely"
+    ).inc(sum(1 for t in report.tiles if t.concealed))
+
+
+def record_trace_metrics(registry: MetricsRegistry, tracer: Tracer) -> None:
+    """Per-stage time counters + worker wait histograms from a trace."""
+    for name, seconds in tracer.stage_seconds().items():
+        registry.counter(
+            f"repro_stage_seconds_total_{_slug(name)}",
+            f"wall seconds in pipeline stage '{name}'",
+        ).inc(seconds)
+    if tracer.tasks:
+        dur = registry.histogram(
+            "repro_worker_task_seconds", "per-worker task durations"
+        )
+        qw = registry.histogram(
+            "repro_worker_queue_wait_seconds", "wait before a worker took a task"
+        )
+        bw = registry.histogram(
+            "repro_worker_barrier_wait_seconds",
+            "idle time between task end and phase barrier",
+        )
+        for t in tracer.tasks:
+            dur.observe(t.seconds)
+            qw.observe(t.queue_wait)
+            bw.observe(t.barrier_wait)
+
+
+def record_packet_metrics(
+    registry: MetricsRegistry, packet_io, prefix: str = "repro_tier2"
+) -> None:
+    """Counters from a tier-2 :class:`PacketWriter` or :class:`PacketReader`.
+
+    Anything exposing a ``counters() -> dict`` snapshot works; each key
+    becomes ``<prefix>_<key>_total``.
+    """
+    for key, value in packet_io.counters().items():
+        registry.counter(
+            f"{prefix}_{_slug(key)}_total", f"tier-2 packet I/O: {key}"
+        ).inc(value)
+
+
+def record_cache_metrics(
+    registry: MetricsRegistry, stats, prefix: str = "repro_cachesim"
+) -> None:
+    """Counters from a cache-simulation :class:`CacheStats`."""
+    registry.counter(f"{prefix}_accesses_total", "simulated cache accesses").inc(
+        stats.accesses
+    )
+    registry.counter(f"{prefix}_misses_total", "simulated cache misses").inc(
+        stats.misses
+    )
+    registry.counter(f"{prefix}_evictions_total", "simulated cache evictions").inc(
+        stats.evictions
+    )
+    registry.gauge(f"{prefix}_miss_rate", "miss rate of the last run").set(
+        stats.miss_rate
+    )

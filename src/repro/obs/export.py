@@ -1,0 +1,134 @@
+"""Trace exporters: Chrome ``chrome://tracing`` JSON, terminal tables.
+
+``chrome_trace`` renders a :class:`~repro.obs.tracer.Tracer` as the
+Trace Event Format consumed by Perfetto / ``chrome://tracing``: complete
+("X") events with ``pid``/``tid``/``ts``/``dur`` in microseconds, plus
+metadata ("M") events naming the pipeline and worker rows.  Spans land
+on ``pid`` :data:`PID_PIPELINE` (one row per recording thread); worker
+task records land on ``pid`` :data:`PID_WORKERS` (one row per worker
+id), with queue and barrier waits in the event ``args``.
+
+``stage_table`` renders the Fig.-3 per-stage breakdown as an aligned
+terminal table, canonical stage order first.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .tracer import PARALLEL_STAGES, STAGE_NAMES, Tracer
+
+__all__ = ["PID_PIPELINE", "PID_WORKERS", "chrome_trace", "chrome_trace_json", "stage_table"]
+
+PID_PIPELINE = 1
+PID_WORKERS = 2
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Trace Event Format dict for one tracer's spans and tasks."""
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": PID_PIPELINE, "tid": 0, "name": "process_name",
+         "args": {"name": "pipeline"}},
+    ]
+    tids = sorted({sp.tid for sp in tracer.spans})
+    for tid in tids:
+        events.append(
+            {"ph": "M", "pid": PID_PIPELINE, "tid": tid, "name": "thread_name",
+             "args": {"name": "main" if tid == 0 else f"thread-{tid}"}}
+        )
+    for sp in tracer.spans:
+        args: Dict[str, Any] = {k: v for k, v in sp.attrs.items()}
+        if sp.category:
+            args["category"] = sp.category
+        if sp.parallel:
+            args["parallel"] = True
+        events.append(
+            {
+                "ph": "X",
+                "pid": PID_PIPELINE,
+                "tid": sp.tid,
+                "ts": _us(sp.t0),
+                "dur": _us(max(0.0, sp.seconds)),
+                "name": sp.name,
+                "cat": sp.category or "span",
+                "args": args,
+            }
+        )
+    workers = sorted({t.worker for t in tracer.tasks})
+    if workers:
+        events.append(
+            {"ph": "M", "pid": PID_WORKERS, "tid": 0, "name": "process_name",
+             "args": {"name": "workers"}}
+        )
+        for w in workers:
+            events.append(
+                {"ph": "M", "pid": PID_WORKERS, "tid": w, "name": "thread_name",
+                 "args": {"name": f"worker-{w}"}}
+            )
+    for t in tracer.tasks:
+        args = {
+            "phase": t.phase,
+            "queue_wait_us": _us(t.queue_wait),
+            "barrier_wait_us": _us(t.barrier_wait),
+        }
+        args.update(t.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "pid": PID_WORKERS,
+                "tid": t.worker,
+                "ts": _us(t.t0),
+                "dur": _us(max(0.0, t.seconds)),
+                "name": t.name,
+                "cat": "task",
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: Tracer, indent: Optional[int] = None) -> str:
+    return json.dumps(chrome_trace(tracer), indent=indent)
+
+
+def stage_table(tracer: Tracer, title: str = "stage breakdown") -> str:
+    """Aligned per-stage table; ``*`` marks parallelizable stages."""
+    totals = tracer.stage_seconds()
+    calls: Dict[str, int] = {}
+    for sp in tracer.spans:
+        if sp.category == "stage":
+            calls[sp.name] = calls.get(sp.name, 0) + 1
+    order = [n for n in STAGE_NAMES if n in totals]
+    order += [n for n in totals if n not in STAGE_NAMES]
+    total = sum(totals.values()) or 1.0
+    width = max([len(n) for n in order] + [len("stage")])
+    lines = [
+        title,
+        f"{'stage':<{width}}    {'calls':>5}  {'seconds':>10}  {'share':>6}",
+        "-" * (width + 29),
+    ]
+    for name in order:
+        flag = "*" if name in PARALLEL_STAGES else " "
+        lines.append(
+            f"{name:<{width}} {flag}  {calls.get(name, 0):>5}  "
+            f"{totals[name]:>10.6f}  {100.0 * totals[name] / total:>5.1f}%"
+        )
+    lines.append(
+        f"{'total':<{width}}    {sum(calls.values()):>5}  "
+        f"{sum(totals.values()):>10.6f}  {100.0:>5.1f}%"
+    )
+    if tracer.tasks:
+        workers = tracer.workers()
+        busy = {w: sum(t.seconds for t in ts) for w, ts in workers.items()}
+        mean = sum(busy.values()) / len(busy)
+        imb = (max(busy.values()) / mean) if mean > 0 else 1.0
+        lines.append(
+            f"workers: {len(workers)}, tasks: {len(tracer.tasks)}, "
+            f"imbalance (max/mean busy): {imb:.2f}"
+        )
+    return "\n".join(lines)

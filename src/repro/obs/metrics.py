@@ -1,0 +1,200 @@
+"""Metrics registry: counters, gauges, histograms, Prometheus exposition.
+
+A deliberately small, dependency-free subset of the Prometheus client
+data model -- enough for services wrapping this codec to scrape blocks
+coded, MQ decisions, bytes emitted, packets dropped/concealed and
+cache-simulation hit rates.  :meth:`MetricsRegistry.to_prometheus`
+renders the text exposition format; :func:`parse_prometheus` parses it
+back (used by the round-trip tests and by anything that wants the
+samples as plain numbers).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets (seconds-flavoured, like the client libs).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing sample."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        return [(self.name, "", self.value)]
+
+
+class Gauge:
+    """Sample that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        return [(self.name, "", self.value)]
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        out: List[Tuple[str, str, float]] = []
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            out.append((f"{self.name}_bucket", f'le="{_fmt_float(bound)}"', float(n)))
+        out.append((f"{self.name}_bucket", 'le="+Inf"', float(self.count)))
+        out.append((f"{self.name}_sum", "", self.sum))
+        out.append((f"{self.name}_count", "", float(self.count)))
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors.
+
+    Re-requesting a name returns the existing metric; requesting it as a
+    different kind raises, so call sites cannot silently shadow each
+    other.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def to_prometheus(self) -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for name, labels, value in metric.samples():
+                sample = f"{name}{{{labels}}}" if labels else name
+                lines.append(f"{sample} {_fmt_float(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_float(value: float) -> str:
+    """Shortest faithful rendering (Prometheus uses Go's %g)."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse text exposition back into ``{sample_key: value}``.
+
+    The key is the sample name plus its label string exactly as emitted
+    (e.g. ``repro_span_seconds_bucket{le="0.1"}``).  Comment and blank
+    lines are skipped; malformed sample lines raise ``ValueError``.
+    """
+    out: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?)\s+(\S+)$", line
+        )
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        key, raw = m.groups()
+        value = math.inf if raw == "+Inf" else float(raw)
+        out[key] = value
+    return out

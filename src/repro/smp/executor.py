@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.tracer import TaskRecord, Tracer
 from .machine import MachineSpec
 from .task import Task
 
@@ -154,10 +155,47 @@ class SimulatedSMP:
         return self.run_phase(name, [list(tasks)])
 
     def run(
-        self, phases: Sequence[tuple]
+        self, phases: Sequence[tuple], tracer: Optional[Tracer] = None
     ) -> RunResult:
-        """Execute a sequence of ``(name, assignment)`` barrier phases."""
+        """Execute a sequence of ``(name, assignment)`` barrier phases.
+
+        ``tracer`` (optional) receives the *simulated* timeline: one
+        span per barrier phase and one task record per busy CPU, with
+        the barrier wait (slowest CPU minus this CPU) made explicit.
+        Timestamps are simulated seconds from the run's start, so the
+        Chrome-trace export shows the deterministic SMP schedule exactly
+        as the model computed it.
+        """
         result = RunResult(machine=self.machine)
         for name, assignment in phases:
             result.phases.append(self.run_phase(name, assignment))
+        if tracer is not None:
+            self._emit_timeline(result, tracer)
         return result
+
+    def _emit_timeline(self, result: RunResult, tracer: Tracer) -> None:
+        """Append the run's simulated schedule to ``tracer``."""
+        m = self.machine
+        t = 0.0
+        for p in result.phases:
+            dur = m.cycles_to_ms(p.cycles) / 1e3
+            tracer.add_span(
+                p.name, t, t + dur, category="phase",
+                n_cpus=p.n_cpus, bus_bound=p.bus_bound,
+                imbalance=round(p.imbalance, 4), simulated=True,
+            )
+            for cpu, cycles in enumerate(p.per_cpu_cycles):
+                busy = m.cycles_to_ms(cycles) / 1e3
+                tracer.add_task(
+                    TaskRecord(
+                        worker=cpu,
+                        name=f"{p.name} [cpu {cpu}]",
+                        phase=p.name,
+                        t0=t,
+                        t1=t + busy,
+                        barrier_wait=max(0.0, dur - busy),
+                        attrs={"simulated": True},
+                    )
+                )
+            t += dur
+        return None

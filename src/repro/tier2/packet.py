@@ -117,6 +117,22 @@ class PacketWriter:
 
     def __init__(self, bands: Sequence[BandState]) -> None:
         self.bands = list(bands)
+        #: observability counters, scraped by :mod:`repro.obs.collect`
+        self.packets_written = 0
+        self.empty_packets = 0
+        self.header_bytes = 0
+        self.body_bytes = 0
+        self.blocks_included = 0
+
+    def counters(self) -> dict:
+        """Counter snapshot for the metrics layer."""
+        return {
+            "packets_written": self.packets_written,
+            "empty_packets": self.empty_packets,
+            "header_bytes": self.header_bytes,
+            "body_bytes": self.body_bytes,
+            "blocks_included": self.blocks_included,
+        }
 
     def write_packet(
         self, layer: int, contributions: Sequence[Sequence[Sequence[BlockContribution]]]
@@ -140,9 +156,17 @@ class PacketWriter:
                 for by in range(state.grid_h):
                     for bx in range(state.grid_w):
                         contrib = band[by][bx]
+                        if contrib.included:
+                            self.blocks_included += 1
                         self._write_block(w, body, state, layer, by, bx, contrib)
+        else:
+            self.empty_packets += 1
         w.align()
-        return w.getvalue() + bytes(body)
+        header = w.getvalue()
+        self.packets_written += 1
+        self.header_bytes += len(header)
+        self.body_bytes += len(body)
+        return header + bytes(body)
 
     def _write_block(
         self,
@@ -191,6 +215,18 @@ class PacketReader:
         self.zero_planes: List[np.ndarray] = [
             np.full((h, w), -1, dtype=np.int64) for (h, w) in band_grids
         ]
+        #: observability counters, scraped by :mod:`repro.obs.collect`
+        self.packets_read = 0
+        self.empty_packets = 0
+        self.blocks_included = 0
+
+    def counters(self) -> dict:
+        """Counter snapshot for the metrics layer."""
+        return {
+            "packets_read": self.packets_read,
+            "empty_packets": self.empty_packets,
+            "blocks_included": self.blocks_included,
+        }
 
     def read_packet(
         self, data: bytes, layer: int, strict: bool = True
@@ -215,8 +251,10 @@ class PacketReader:
     def _read_packet(self, data: bytes, layer: int, strict: bool) -> tuple:
         r = BitReader(data)
         out: List[List[List[BlockContribution]]] = []
+        self.packets_read += 1
         if r.read_bit() == 0:
             r.align()
+            self.empty_packets += 1
             for state in self.bands:
                 out.append(
                     [
@@ -264,4 +302,5 @@ class PacketReader:
         for b_idx, by, bx, n_passes, length in pending:
             out[b_idx][by][bx] = BlockContribution(n_passes, data[pos : pos + length])
             pos += length
+        self.blocks_included += len(pending)
         return out, pos

@@ -17,6 +17,7 @@ class TestParser:
             "info",
             "synth",
             "faults",
+            "trace",
             "experiments",
         }
 

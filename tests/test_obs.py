@@ -1,0 +1,349 @@
+"""Observability layer: tracer, metrics, exporters, Amdahl accounting."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecParams, decode_image, encode_image
+from repro.codec.instrument import EncoderReport, StageStats
+from repro.core.amdahl import amdahl_speedup
+from repro.core.parallel import parallel_encode_blocks
+from repro.obs import (
+    PARALLEL_STAGES,
+    STAGE_NAMES,
+    MetricsRegistry,
+    Tracer,
+    amdahl_report,
+    chrome_trace,
+    chrome_trace_json,
+    parse_prometheus,
+    record_encode_metrics,
+    record_trace_metrics,
+    stage_table,
+)
+from repro.obs.export import PID_PIPELINE, PID_WORKERS
+
+
+# ---------------------------------------------------------------------------
+# Tracer: span nesting and timing
+# ---------------------------------------------------------------------------
+
+
+def test_span_nesting_and_monotonic_times():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        with tr.span("inner") as inner:
+            pass
+    assert inner.parent is outer
+    assert inner.depth == 1 and outer.depth == 0
+    # Children close before parents; all bounds are ordered.
+    assert outer.t0 <= inner.t0 <= inner.t1 <= outer.t1
+    assert outer.seconds >= inner.seconds >= 0.0
+    # Inner span was recorded first (closed first).
+    assert [s.name for s in tr.spans] == ["inner", "outer"]
+
+
+def test_span_closed_on_exception():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("doomed"):
+            raise RuntimeError("boom")
+    (sp,) = tr.spans
+    assert sp.t1 >= sp.t0
+    # The stack unwound: a new span is top-level again.
+    with tr.span("after") as sp2:
+        pass
+    assert sp2.depth == 0 and sp2.parent is None
+
+
+def test_stage_seconds_aggregates_by_name():
+    tr = Tracer()
+    tr.add_span("tier-1 coding", 0.0, 1.0, category="stage", parallel=True)
+    tr.add_span("tier-1 coding", 2.0, 2.5, category="stage", parallel=True)
+    tr.add_span("not-a-stage", 0.0, 9.0)  # no category: excluded
+    assert tr.stage_seconds() == {"tier-1 coding": 1.5}
+
+
+# ---------------------------------------------------------------------------
+# Worker timelines
+# ---------------------------------------------------------------------------
+
+
+def test_worker_timeline_complete(rng):
+    """Every scheduled code-block appears exactly once in the timeline."""
+    blocks = [
+        (rng.integers(-50, 50, size=(8, 8)).astype(np.int32), "LL")
+        for _ in range(8)
+    ]
+    tr = Tracer()
+    recs = parallel_encode_blocks(blocks, n_workers=3, tracer=tr)
+    assert len(recs) == 8
+    pool = [t for t in tr.tasks if t.phase == "tier-1 encode pool"]
+    assert sorted(t.attrs["block"] for t in pool) == list(range(8))
+    assert {t.worker for t in pool} == {0, 1, 2}
+    # Per-worker task streams don't overlap and waits are sane.
+    by_worker = tr.workers()
+    for tasks in by_worker.values():
+        for a, b in zip(tasks, tasks[1:]):
+            assert a.t1 <= b.t0 + 1e-9
+        assert all(t.queue_wait >= 0 and t.barrier_wait >= 0 for t in tasks)
+
+
+def test_phase_backfills_barrier_wait():
+    tr = Tracer()
+    with tr.phase("p") as ph:
+        with ph.task("a", worker=0):
+            pass
+    (task,) = tr.tasks
+    (span,) = tr.spans
+    assert span.category == "phase" and span.name == "p"
+    # The barrier released after the task ended.
+    assert task.barrier_wait >= 0.0
+    assert span.t1 >= task.t1
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export
+# ---------------------------------------------------------------------------
+
+
+def test_chrome_trace_schema(small_image):
+    tr = Tracer()
+    res = encode_image(small_image, CodecParams(levels=2, cb_size=16), tracer=tr)
+    td = Tracer()
+    decode_image(res.data, n_workers=2, tracer=td)
+    for tracer in (tr, td):
+        doc = json.loads(chrome_trace_json(tracer))
+        evs = doc["traceEvents"]
+        assert evs, "trace must not be empty"
+        for ev in evs:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+            assert ev["ph"] in ("X", "M")
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0 and ev["dur"] >= 0
+                assert ev["pid"] in (PID_PIPELINE, PID_WORKERS)
+    # The decode trace has both pipeline spans and worker task events.
+    doc = chrome_trace(td)
+    pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert pids == {PID_PIPELINE, PID_WORKERS}
+
+
+# ---------------------------------------------------------------------------
+# Metrics + Prometheus round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_prometheus_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("repro_widgets_total", "widgets").inc(3)
+    reg.gauge("repro_level", "level").set(1.25)
+    h = reg.histogram("repro_lat_seconds", "latency", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    parsed = parse_prometheus(reg.to_prometheus())
+    assert parsed["repro_widgets_total"] == 3.0
+    assert parsed["repro_level"] == 1.25
+    assert parsed['repro_lat_seconds_bucket{le="0.1"}'] == 1.0
+    assert parsed['repro_lat_seconds_bucket{le="1"}'] == 2.0
+    assert parsed['repro_lat_seconds_bucket{le="+Inf"}'] == 3.0
+    assert parsed["repro_lat_seconds_count"] == 3.0
+    assert parsed["repro_lat_seconds_sum"] == pytest.approx(5.55)
+
+
+def test_metrics_registry_rejects_conflicts_and_bad_input():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", "x")
+    with pytest.raises(ValueError):
+        reg.gauge("repro_x_total", "x")  # same name, different kind
+    with pytest.raises(ValueError):
+        reg.counter("bad name!", "x")
+    with pytest.raises(ValueError):
+        reg.counter("repro_y_total", "y").inc(-1)
+    with pytest.raises(ValueError):
+        parse_prometheus("repro_z this-is-not-a-number\n")
+
+
+def test_record_encode_metrics(small_image):
+    res = encode_image(small_image, CodecParams(levels=2, cb_size=16))
+    reg = MetricsRegistry()
+    record_encode_metrics(reg, res)
+    parsed = parse_prometheus(reg.to_prometheus())
+    assert parsed["repro_blocks_coded_total"] == float(len(res.blocks))
+    assert parsed["repro_bytes_emitted_total"] == float(res.n_bytes)
+    assert parsed["repro_samples_coded_total"] == 64.0 * 64.0
+
+
+# ---------------------------------------------------------------------------
+# Amdahl accounting
+# ---------------------------------------------------------------------------
+
+
+def test_amdahl_report_hand_built_trace():
+    tr = Tracer()
+    # 2s serial + 8s parallelizable => f = 0.2.
+    tr.add_span("tier-2 coding", 0.0, 2.0, category="stage", parallel=False)
+    tr.add_span("tier-1 coding", 2.0, 10.0, category="stage", parallel=True)
+    rep = amdahl_report(tr, n_cpus=4)
+    assert rep.serial_seconds == pytest.approx(2.0)
+    assert rep.parallel_seconds == pytest.approx(8.0)
+    assert rep.sequential_fraction == pytest.approx(0.2)
+    assert rep.max_speedup == pytest.approx(amdahl_speedup(2.0, 8.0, 4))
+    assert rep.max_speedup == pytest.approx(10.0 / (2.0 + 8.0 / 4.0))
+    assert rep.asymptotic_speedup == pytest.approx(5.0)
+    assert rep.speedup_at(1) == pytest.approx(1.0)
+    assert "sequential fraction" in rep.summary()
+    assert rep.parallel_stages == ("tier-1 coding",)
+    assert rep.serial_stages == ("tier-2 coding",)
+
+
+def test_amdahl_report_requires_stage_spans():
+    with pytest.raises(ValueError):
+        amdahl_report(Tracer())
+
+
+def test_amdahl_report_from_real_encode(small_image):
+    tr = Tracer()
+    encode_image(small_image, CodecParams(levels=2, cb_size=16), tracer=tr)
+    rep = amdahl_report(tr, n_cpus=4)
+    assert 0.0 < rep.sequential_fraction < 1.0
+    assert 1.0 < rep.max_speedup <= 4.0
+
+
+# ---------------------------------------------------------------------------
+# Stage table + full stage coverage
+# ---------------------------------------------------------------------------
+
+
+def test_stage_table_covers_all_stages(small_image):
+    tr = Tracer()
+    encode_image(small_image, CodecParams(levels=2, cb_size=16), tracer=tr)
+    stages = tr.stage_seconds()
+    assert set(stages) == set(STAGE_NAMES)
+    assert all(v > 0.0 for v in stages.values())
+    table = stage_table(tr, title="encode")
+    for name in STAGE_NAMES:
+        assert name in table
+    # Parallel stages are starred; the total row closes the table.
+    for name in PARALLEL_STAGES:
+        line = next(l for l in table.splitlines() if l.startswith(name))
+        assert "*" in line
+    assert "total" in table
+
+
+def test_decode_stage_coverage(small_image):
+    res = encode_image(small_image, CodecParams(levels=2, cb_size=16))
+    tr = Tracer()
+    out = decode_image(res.data, n_workers=2, tracer=tr)
+    assert out.shape == small_image.shape
+    stages = tr.stage_seconds()
+    # The decoder has no R/D allocation stage; everything else appears.
+    expected = set(STAGE_NAMES) - {"R/D allocation"}
+    assert set(stages) == expected
+    assert all(v > 0.0 for v in stages.values())
+
+
+def test_tracing_does_not_change_output(small_image):
+    params = CodecParams(levels=2, cb_size=16)
+    plain = encode_image(small_image, params)
+    traced = encode_image(small_image, params, tracer=Tracer())
+    assert plain.data == traced.data
+
+
+# ---------------------------------------------------------------------------
+# Satellite: StageStats.add_work type checking
+# ---------------------------------------------------------------------------
+
+
+def test_add_work_rejects_non_numeric_scalars():
+    st = StageStats("tier-1 coding")
+    st.add_work(blocks=3, ratio=0.5)
+    st.add_work(blocks=2)
+    assert st.work["blocks"] == 5
+    st.add_work(names=["a"])
+    st.add_work(names=["b"])
+    assert st.work["names"] == ["a", "b"]
+    with pytest.raises(TypeError):
+        st.add_work(label="oops")
+    with pytest.raises(TypeError):
+        st.add_work(flag=True)  # bools are not work counts
+    with pytest.raises(TypeError):
+        st.add_work(blob={"nested": 1})
+
+
+def test_encoder_report_add_work_type_error_via_timed():
+    rep = EncoderReport()
+    with rep.timed("tier-1 coding") as st:
+        with pytest.raises(TypeError):
+            st.add_work(bad="not-a-number")
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro trace / --trace
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCLI:
+    @pytest.fixture()
+    def pgm(self, tmp_path, small_image):
+        from repro.image import write_pnm
+
+        path = tmp_path / "t.pgm"
+        write_pnm(str(path), small_image)
+        return path
+
+    def test_trace_encode_chrome(self, pgm, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "t.json"
+        assert main([
+            "trace", "encode", str(pgm), "--levels", "2", "--cb-size", "16",
+            "--trace-out", str(out), "--format", "chrome",
+        ]) == 0
+        doc = json.loads(out.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} >= set(STAGE_NAMES)
+        assert all({"pid", "tid", "ts", "dur"} <= set(e) for e in xs)
+        # A stage-table summary still reaches the terminal.
+        assert "tier-1 coding" in capsys.readouterr().out
+
+    def test_trace_encode_table(self, pgm, capsys):
+        from repro.cli import main
+
+        assert main([
+            "trace", "encode", str(pgm), "--levels", "2", "--cb-size", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        for name in STAGE_NAMES:
+            assert name in out
+        assert "sequential fraction" in out  # the Amdahl summary
+
+    def test_trace_decode_prom(self, pgm, tmp_path, capsys):
+        from repro.cli import main
+
+        rj2k = tmp_path / "t.rj2k"
+        assert main([
+            "encode", str(pgm), str(rj2k), "--levels", "2", "--cb-size", "16",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "trace", "decode", str(rj2k), "--workers", "2", "--format", "prom",
+        ]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        assert any(k.startswith("repro_stage_seconds_total_") for k in parsed)
+        assert parsed["repro_worker_task_seconds_count"] > 0
+
+    def test_encode_decode_trace_flag(self, pgm, tmp_path, capsys):
+        from repro.cli import main
+
+        rj2k = tmp_path / "t.rj2k"
+        assert main([
+            "encode", str(pgm), str(rj2k), "--levels", "2", "--cb-size", "16",
+            "--trace",
+        ]) == 0
+        assert "quantization" in capsys.readouterr().out
+        back = tmp_path / "back.pgm"
+        assert main(["decode", str(rj2k), str(back), "--trace"]) == 0
+        assert "tier-1 coding" in capsys.readouterr().out

@@ -173,3 +173,50 @@ class TestSimulation:
         bd = simulate_encode(workload, INTEL_SMP, 4, VerticalStrategy.NAIVE)
         vertical_phases = [p for p in bd.run.phases if "vertical" in p.name]
         assert any(p.bus_bound for p in vertical_phases)
+
+
+class TestTracerOverhead:
+    def test_disabled_path_allocates_no_spans(self, small_image, monkeypatch):
+        """Zero-cost-by-default: ``tracer=None`` must never touch the
+        span machinery.  Any span, task or tracer allocation on the
+        default path fails loudly here."""
+        from repro.codec import CodecParams, encode_image, decode_image
+        from repro.obs import tracer as tracer_mod
+
+        def forbid(*args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("tracing machinery used with tracer=None")
+
+        monkeypatch.setattr(tracer_mod.Tracer, "span", forbid)
+        monkeypatch.setattr(tracer_mod.Tracer, "phase", forbid)
+        monkeypatch.setattr(tracer_mod.Tracer, "add_task", forbid)
+        monkeypatch.setattr(tracer_mod.Span, "__init__", forbid)
+        monkeypatch.setattr(tracer_mod.TaskRecord, "__init__", forbid)
+        params = CodecParams(levels=2, base_step=1 / 64, cb_size=16)
+        res = encode_image(small_image, params)
+        decode_image(res.data, n_workers=2)
+
+    def test_tracing_overhead_small(self, small_image):
+        """Even *enabled* tracing stays cheap (a handful of spans per
+        run); the disabled path does strictly less.  The 50% ceiling is
+        a generous margin over the <5% typical cost so scheduler noise
+        on shared CI boxes cannot flake it, while still catching
+        accidental per-sample span allocation."""
+        import time
+
+        from repro.codec import CodecParams, encode_image
+        from repro.obs import Tracer
+
+        params = CodecParams(levels=2, base_step=1 / 64, cb_size=16)
+        encode_image(small_image, params)  # warm numpy/codec caches
+
+        def best_of(tracer_factory, n=3):
+            best = float("inf")
+            for _ in range(n):
+                t0 = time.perf_counter()
+                encode_image(small_image, params, tracer=tracer_factory())
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        untraced = best_of(lambda: None)
+        traced = best_of(Tracer)
+        assert traced <= untraced * 1.5
