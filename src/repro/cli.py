@@ -3,7 +3,9 @@
 Usage::
 
     python -m repro encode input.pgm output.rj2k [--lossless] [--bpp 0.5 ...]
+                    [--workers N] [--backend serial|threads|processes]
     python -m repro decode output.rj2k roundtrip.pgm [--layer K] [--resilient]
+                    [--workers N] [--backend serial|threads|processes]
     python -m repro info   output.rj2k
     python -m repro synth  test.pgm --side 512 [--kind mix] [--seed 0]
     python -m repro faults inject in.rj2k out.rj2k --mode bitflip --rate 1e-4
@@ -52,7 +54,9 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         from .obs import Tracer
 
         tracer = Tracer()
-    result = encode_image(img, params, tracer=tracer)
+    result = encode_image(
+        img, params, tracer=tracer, n_workers=args.workers, backend=args.backend
+    )
     with open(args.output, "wb") as fh:
         fh.write(result.data)
     if tracer is not None:
@@ -84,11 +88,15 @@ def _cmd_decode(args: argparse.Namespace) -> int:
         tracer = Tracer()
     if args.resilient:
         img, report = decode_image(
-            data, max_layer=args.layer, resilient=True, tracer=tracer
+            data, max_layer=args.layer, resilient=True, tracer=tracer,
+            n_workers=args.workers, backend=args.backend,
         )
         print(report.summary())
     else:
-        img = decode_image(data, max_layer=args.layer, tracer=tracer)
+        img = decode_image(
+            data, max_layer=args.layer, tracer=tracer,
+            n_workers=args.workers, backend=args.backend,
+        )
     write_pnm(args.output, img)
     kind = "PPM" if img.ndim == 3 else "PGM"
     print(f"{args.input} -> {args.output} ({kind}, {img.shape[0]}x{img.shape[1]})")
@@ -123,14 +131,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             target_bpp=tuple(args.bpp) if args.bpp else None,
             tile_size=args.tile_size,
         )
-        result = encode_image(img, params, tracer=tracer)
+        result = encode_image(
+            img, params, tracer=tracer,
+            n_workers=args.workers, backend=args.backend,
+        )
         record_encode_metrics(registry, result)
         title = f"encode {args.input}"
     else:
         with open(args.input, "rb") as fh:
             data = fh.read()
         out = decode_image(
-            data, n_workers=args.workers, resilient=args.resilient, tracer=tracer
+            data, n_workers=args.workers, resilient=args.resilient,
+            tracer=tracer, backend=args.backend,
         )
         if args.resilient:
             _, report = out
@@ -230,6 +242,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return report_main(argv)
 
 
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    """Shared execution-backend knobs (``--workers`` / ``--backend``)."""
+    from .core.backend import BACKEND_NAMES
+
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="workers for the parallel stages (1 = serial fast path)",
+    )
+    p.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend for the parallel stages "
+        "(default: threads when --workers > 1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -256,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="print the per-stage breakdown (Fig. 3) of this encode",
     )
+    _add_backend_args(enc)
     enc.set_defaults(fn=_cmd_encode)
 
     dec = sub.add_parser("decode", help="decode to PGM/PPM")
@@ -270,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="print the per-stage breakdown (Fig. 3) of this decode",
     )
+    _add_backend_args(dec)
     dec.set_defaults(fn=_cmd_decode)
 
     trc = sub.add_parser(
@@ -299,6 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--format", choices=("chrome", "prom", "table"), default="table",
             help="chrome://tracing JSON, Prometheus text, or a stage table",
+        )
+        from .core.backend import BACKEND_NAMES
+
+        p.add_argument(
+            "--backend", choices=BACKEND_NAMES, default=None,
+            help="execution backend for the parallel stages "
+            "(default: threads when --workers > 1)",
         )
         p.set_defaults(fn=_cmd_trace)
 

@@ -53,6 +53,7 @@ def decode_image(
     n_workers: int = 1,
     resilient: bool = False,
     tracer=None,
+    backend=None,
 ) -> Union[np.ndarray, Tuple[np.ndarray, DecodeReport]]:
     """Decode a codestream produced by :func:`repro.codec.encode_image`.
 
@@ -76,6 +77,14 @@ def decode_image(
         Optional :class:`repro.obs.Tracer`; records decode-side stage
         spans (mirroring the encoder's Fig.-3 names) and per-worker
         tier-1 task records.  ``None`` (default) allocates no spans.
+    backend:
+        Execution backend for the parallel stages --
+        ``serial``/``threads``/``processes`` or a live
+        :class:`~repro.core.backend.ExecutionBackend`.  ``None``
+        (default) keeps the historical thread-pool behaviour.  With an
+        explicit backend the inverse DWT sweeps run on it too.  The
+        decoded image is bit-identical for every backend and worker
+        count.
 
     Returns
     -------
@@ -83,6 +92,35 @@ def decode_image(
         The reconstructed image, dtype ``uint8``/``uint16`` by bit depth.
     """
     report: Optional[DecodeReport] = None
+    owned_bk = None
+    if backend is not None and not hasattr(backend, "map_shares"):
+        # Resolve a backend *name* once up front so every tile-part (and
+        # the inverse DWT) shares one worker pool instead of spawning a
+        # fresh pool per tile.
+        from ..core.backend import resolve_backend
+
+        backend, owned = resolve_backend(backend, n_workers)
+        if owned:
+            owned_bk = backend
+    try:
+        return _decode_image_impl(
+            data, max_layer, n_workers, resilient, tracer, backend, report
+        )
+    finally:
+        if owned_bk is not None:
+            owned_bk.close()
+
+
+def _decode_image_impl(
+    data: bytes,
+    max_layer: Optional[int],
+    n_workers: int,
+    resilient: bool,
+    tracer,
+    backend,
+    report: Optional[DecodeReport],
+) -> Union[np.ndarray, Tuple[np.ndarray, DecodeReport]]:
+    """Body of :func:`decode_image`; ``backend`` is resolved (or None)."""
     with stage_span(tracer, "bitstream I/O"):
         if resilient:
             stream, scan = scan_codestream(data)
@@ -138,6 +176,7 @@ def decode_image(
                         framed=p.resilient,
                         stats=stats,
                         tracer=tracer,
+                        backend=backend,
                     )
                 except Exception as exc:
                     if report is None:
@@ -217,6 +256,7 @@ def _decode_tile(
     framed: bool = False,
     stats: Optional[TileStats] = None,
     tracer=None,
+    backend=None,
 ) -> np.ndarray:
     """Decode one tile's packet payload into pixel values (pre-shift).
 
@@ -230,7 +270,7 @@ def _decode_tile(
     try:
         return _decode_tile_staged(
             payload, tile_h, tile_w, params, n_layers_total, n_layers_decode,
-            roi_shift, n_workers, framed, stats, tracer, stages,
+            roi_shift, n_workers, framed, stats, tracer, stages, backend,
         )
     finally:
         stages.finish()
@@ -249,6 +289,7 @@ def _decode_tile_staged(
     stats: Optional[TileStats],
     tracer,
     stages: StageSwitcher,
+    backend=None,
 ) -> np.ndarray:
     """Body of :func:`_decode_tile`; ``stages`` marks stage boundaries."""
     resilient = stats is not None
@@ -413,6 +454,7 @@ def _decode_tile_staged(
         on_error="conceal" if resilient else "raise",
         stats=stats,
         tracer=tracer,
+        backend=backend,
     )
     decoded = {k: o for k, o in zip(job_keys, outs) if o is not None}
     stages.switch("quantization")
@@ -482,7 +524,16 @@ def _decode_tile_staged(
         ll=ll, details=details, shape=(tile_h, tile_w), filter_name=params.filter_name
     )
     stages.switch("intra-component transform")
-    rec = idwt2d(sb)
+    if backend is None:
+        rec = idwt2d(sb)
+    else:
+        # The inverse sweeps are bit-identical on every backend; reuse
+        # the requested one so decode scales like encode.
+        from ..core.parallel import parallel_idwt2d
+
+        rec = parallel_idwt2d(
+            sb, n_workers=n_workers, tracer=tracer, backend=backend
+        )
     return np.asarray(rec, dtype=np.float64)
 
 

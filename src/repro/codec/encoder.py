@@ -101,6 +101,8 @@ def encode_image(
     params: CodecParams,
     roi_mask: Optional[np.ndarray] = None,
     tracer=None,
+    n_workers: int = 1,
+    backend=None,
 ) -> EncodeResult:
     """Encode a grayscale ``(H, W)`` or color ``(H, W, 3)`` image.
 
@@ -120,8 +122,39 @@ def encode_image(
     ``tracer`` (optional, a :class:`repro.obs.Tracer`) records one span
     per stage with the work counters attached; ``None`` (the default)
     allocates no spans.
+
+    ``n_workers``/``backend`` run the two parallel stages of the paper
+    -- the DWT sweeps and tier-1 code-block coding -- on an execution
+    backend (``serial``/``threads``/``processes``, or a live
+    :class:`~repro.core.backend.ExecutionBackend`).  The codestream is
+    byte-identical for every backend and worker count: the static
+    partition only re-orders independent work (enforced by the
+    differential test harness).
     """
     report = EncoderReport(tracer=tracer)
+    bk = owned_bk = None
+    if backend is not None or n_workers > 1:
+        from ..core.backend import resolve_backend
+
+        bk, owned = resolve_backend(backend, n_workers)
+        if owned:
+            owned_bk = bk
+    try:
+        return _encode_image_impl(image, params, roi_mask, tracer, report, bk)
+    finally:
+        if owned_bk is not None:
+            owned_bk.close()
+
+
+def _encode_image_impl(
+    image: np.ndarray,
+    params: CodecParams,
+    roi_mask: Optional[np.ndarray],
+    tracer,
+    report: EncoderReport,
+    bk,
+) -> EncodeResult:
+    """Body of :func:`encode_image`; ``bk`` is a resolved backend or None."""
 
     with report.timed("image I/O") as st:
         img = np.asarray(image)
@@ -208,7 +241,15 @@ def encode_image(
         tile = _tile_views(planes[comp], params.tile_size)[tile_index][1]
         with report.timed("intra-component transform") as st:
             eff_levels = params.effective_levels(*tile.shape)
-            subbands = dwt2d(tile, eff_levels, params.filter_name)
+            if bk is None:
+                subbands = dwt2d(tile, eff_levels, params.filter_name)
+            else:
+                from ..core.parallel import parallel_dwt2d
+
+                subbands = parallel_dwt2d(
+                    tile, eff_levels, params.filter_name,
+                    tracer=tracer, backend=bk,
+                )
             st.add_work(
                 samples=tile.size,
                 dwt_geometry=[(tile.shape[0], tile.shape[1], eff_levels)],
@@ -266,37 +307,50 @@ def encode_image(
             layouts = band_layouts(tile_shape[0], tile_shape[1], eff_levels, params.cb_size)
             band_data: Dict[Tuple[int, str], List[Tuple[BlockInfo, EncodedBlock, int]]] = {}
             decisions = 0
+            # Collect this part's code-blocks in scan order, tier-1 code
+            # them (on the worker pool when a backend is active -- block
+            # order, and therefore the codestream, is backend-invariant),
+            # then attach the results in the same order.
+            jobs: List[Tuple[np.ndarray, str]] = []
+            job_meta: List[Tuple[Tuple[int, str], BlockInfo, float]] = []
             for key, layout in layouts.items():
                 if layout.is_empty:
                     band_data[key] = []
                     continue
                 weight = _distortion_weight(params, quantizer, layout.level, layout.orient)
                 qb = qbands[key]
-                entries: List[Tuple[BlockInfo, EncodedBlock, int]] = []
+                band_data[key] = []
                 for binfo in layout.blocks():
                     coeffs = qb[
                         binfo.y0 : binfo.y0 + binfo.height,
                         binfo.x0 : binfo.x0 + binfo.width,
                     ]
-                    eb = encode_codeblock(coeffs, layout.orient)
-                    cum = 0.0
-                    wd: List[float] = []
-                    for p in eb.passes:
-                        cum += p.dist_reduction * weight
-                        wd.append(cum)
-                    gid = len(blocks)
-                    blocks.append(
-                        BlockRecord(
-                            tile_index=tile_index,
-                            info=binfo,
-                            encoded=eb,
-                            weighted_dists=tuple(wd),
-                            component=comp,
-                        )
+                    jobs.append((coeffs, layout.orient))
+                    job_meta.append((key, binfo, weight))
+            if bk is None:
+                encoded = [encode_codeblock(c, o) for c, o in jobs]
+            else:
+                from ..core.parallel import parallel_encode_blocks
+
+                encoded = parallel_encode_blocks(jobs, tracer=tracer, backend=bk)
+            for (key, binfo, weight), eb in zip(job_meta, encoded):
+                cum = 0.0
+                wd: List[float] = []
+                for p in eb.passes:
+                    cum += p.dist_reduction * weight
+                    wd.append(cum)
+                gid = len(blocks)
+                blocks.append(
+                    BlockRecord(
+                        tile_index=tile_index,
+                        info=binfo,
+                        encoded=eb,
+                        weighted_dists=tuple(wd),
+                        component=comp,
                     )
-                    entries.append((binfo, eb, gid))
-                    decisions += eb.total_decisions()
-                band_data[key] = entries
+                )
+                band_data[key].append((binfo, eb, gid))
+                decisions += eb.total_decisions()
             st.add_work(decisions=decisions, blocks=len(blocks))
         tile_band_data.append(band_data)
 

@@ -24,6 +24,12 @@ analysis; :mod:`repro.core.speedup` the speedup bookkeeping used by every
 figure.
 """
 
+from .backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    get_backend,
+    resolve_backend,
+)
 from .amdahl import amdahl_speedup, serial_fraction, theoretical_speedup_from_breakdown
 from .speedup import SpeedupSeries, speedup_curve, efficiency
 from .parallel import (
@@ -42,6 +48,10 @@ from .study import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "get_backend",
+    "resolve_backend",
     "amdahl_speedup",
     "serial_fraction",
     "theoretical_speedup_from_breakdown",

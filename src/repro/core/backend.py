@@ -1,0 +1,515 @@
+"""Pluggable execution backends for the real parallel stages.
+
+The paper's two headline parallel structures -- the barrier-synchronized
+DWT sweeps of Sec. 3.2 and the tier-1 code-block worker pool of
+Sec. 3.3 -- are *structurally* independent of how a "worker" is
+realized.  This module factors that choice out of
+:mod:`repro.core.parallel` into three interchangeable backends:
+
+- ``serial``    -- everything in the calling thread (the reference).
+- ``threads``   -- a :class:`~concurrent.futures.ThreadPoolExecutor`
+  (the historical behaviour; under CPython's GIL only NumPy-released
+  sections overlap).
+- ``processes`` -- a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose sweep operands travel through
+  :mod:`multiprocessing.shared_memory`: the image/subband arrays are
+  mapped into every worker zero-copy, each worker filters its static
+  column slab in place, and only tiny task descriptors cross the pipe.
+  Tier-1 code-blocks are dealt to workers share-by-share following the
+  paper's staggered round-robin schedule.
+
+Every backend executes the *same* static partition in the *same* order
+per worker, so results are bit-identical across backends (enforced by
+``tests/test_backends_differential.py``).  All three feed per-worker
+:class:`~repro.obs.tracer.TaskRecord` timelines through an optional
+:class:`~repro.obs.tracer.PhaseRecorder`, so ``amdahl_report`` and the
+worker-timeline exporters can compare backends directly.
+
+Two primitive operations cover every call site:
+
+``sweep``
+    One barrier-synchronized filtering/quantization sweep: a named
+    kernel applied to static ``(a, b)`` slabs of shared source/output
+    arrays.  Kernels are registered module-level functions (picklable
+    by name) in :data:`SWEEP_KERNELS`.
+``map_shares``
+    Independent items (code-blocks, simulated-SMP task lists) already
+    dealt into per-worker shares; per-item exceptions are captured and
+    returned so fault isolation is identical for every backend.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ebcot.t1 import decode_codeblock, encode_codeblock
+from ..quant.deadzone import quantize
+from ..wavelet.filters import get_filter
+from ..wavelet.lifting import dwt1d, idwt1d
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcessesBackend",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: Registered backend names, in reference -> fastest-path order.
+BACKEND_NAMES = ("serial", "threads", "processes")
+
+
+# ---------------------------------------------------------------------------
+# Kernels.  Module-level and referenced by *name* so the process backend
+# can resolve them after pickling (and under the spawn start method).
+# ---------------------------------------------------------------------------
+
+
+def _kernel_dwt(srcs, outs, a, b, extra) -> None:
+    """Forward 1-D DWT of column slab ``[a:b)``: srcs=(data,), outs=(low, high)."""
+    lo, hi = dwt1d(srcs[0][:, a:b], get_filter(extra["filter"]))
+    outs[0][:, a:b] = lo
+    outs[1][:, a:b] = hi
+
+
+def _kernel_idwt(srcs, outs, a, b, extra) -> None:
+    """Inverse 1-D DWT of column slab ``[a:b)``: srcs=(low, high), outs=(out,)."""
+    outs[0][:, a:b] = idwt1d(srcs[0][:, a:b], srcs[1][:, a:b], get_filter(extra["filter"]))
+
+
+def _kernel_quantize(srcs, outs, a, b, extra) -> None:
+    """Dead-zone quantize flat chunk ``[a:b)``: srcs=(flat,), outs=(qflat,)."""
+    outs[0][a:b] = quantize(srcs[0][a:b], extra["step"])
+
+
+#: Barrier-sweep kernels by name.
+SWEEP_KERNELS = {
+    "dwt": _kernel_dwt,
+    "idwt": _kernel_idwt,
+    "quantize": _kernel_quantize,
+}
+
+
+def _item_encode(payload):
+    coeffs, orient = payload
+    return encode_codeblock(coeffs, orient)
+
+
+def _item_decode(payload):
+    data, shape, orient, n_planes, n_passes = payload
+    return decode_codeblock(data, shape, orient, n_planes, n_passes)
+
+
+def _item_smp_cycles(payload):
+    """Cost roll-up of one simulated CPU's task list: (tasks, machine)."""
+    tasks, machine = payload
+    cycles = ops = l1 = l2 = 0.0
+    for t in tasks:
+        cycles += t.cycles(machine)
+        ops += t.ops
+        l1 += t.l1_misses
+        l2 += t.l2_misses
+    return cycles, ops, l1, l2
+
+
+#: Independent-item kernels by name.
+ITEM_KERNELS = {
+    "encode": _item_encode,
+    "decode": _item_decode,
+    "smp-cycles": _item_smp_cycles,
+}
+
+
+# ---------------------------------------------------------------------------
+# Backend interface and the two in-process implementations.
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend(ABC):
+    """How the static parallel decomposition gets executed.
+
+    Instances are reusable across calls (the process backend keeps its
+    worker pool warm between sweeps) and must be :meth:`close`\\ d --
+    or used as context managers -- when created directly.  The
+    ``parallel_*`` entry points accept either a backend *name* (they
+    create and close one per call) or a live instance (they leave its
+    lifetime to the caller).
+    """
+
+    name: str = "?"
+
+    def __init__(self, n_workers: int = 1) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for in-thread backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+    @abstractmethod
+    def sweep(
+        self,
+        kernel: str,
+        srcs: Sequence[np.ndarray],
+        outs: Sequence[np.ndarray],
+        ranges: Sequence[Tuple[int, int]],
+        extra: Dict[str, Any],
+        ph=None,
+        label: str = "cols",
+        size_attr: str = "columns",
+    ) -> None:
+        """Run one barrier sweep of ``SWEEP_KERNELS[kernel]`` over slabs.
+
+        Returns after *every* slab finished (the sweep is the barrier).
+        ``ph`` (a :class:`~repro.obs.tracer.PhaseRecorder`) receives one
+        task record per non-empty slab.
+        """
+
+    @abstractmethod
+    def map_shares(
+        self,
+        kernel: str,
+        shares: Sequence[Sequence[Tuple[int, Any]]],
+        n_items: int,
+        ph=None,
+        label: str = "cb",
+    ) -> Tuple[List[Optional[Any]], List[Optional[BaseException]]]:
+        """Run ``ITEM_KERNELS[kernel]`` over pre-dealt worker shares.
+
+        ``shares[w]`` is worker ``w``'s list of ``(global_index,
+        payload)`` items.  Returns ``(results, errors)`` lists of length
+        ``n_items`` aligned on the global index; a failed item leaves
+        ``None`` in ``results`` and the exception in ``errors`` (fault
+        capture is per item on every backend, so concealment outcomes
+        cannot depend on the backend or worker count).
+        """
+
+
+def _run_item(fn, i, payload, worker, ph, label, results, errors) -> None:
+    """Execute one independent item, capturing its exception."""
+    if ph is None:
+        try:
+            results[i] = fn(payload)
+        except Exception as exc:
+            errors[i] = exc
+        return
+    with ph.task(f"{label}-{i}", worker=worker, block=i) as rec:
+        try:
+            results[i] = fn(payload)
+        except Exception as exc:
+            errors[i] = exc
+            rec.attrs["concealed"] = True
+
+
+class SerialBackend(ExecutionBackend):
+    """Everything in the calling thread; the differential reference."""
+
+    name = "serial"
+
+    def sweep(self, kernel, srcs, outs, ranges, extra, ph=None,
+              label="cols", size_attr="columns") -> None:
+        fn = SWEEP_KERNELS[kernel]
+        for a, b in ranges:
+            if a == b:
+                continue
+            if ph is not None:
+                with ph.task(f"{label}[{a}:{b}]", **{size_attr: b - a}):
+                    fn(srcs, outs, a, b, extra)
+            else:
+                fn(srcs, outs, a, b, extra)
+
+    def map_shares(self, kernel, shares, n_items, ph=None, label="cb"):
+        fn = ITEM_KERNELS[kernel]
+        results: List[Optional[Any]] = [None] * n_items
+        errors: List[Optional[BaseException]] = [None] * n_items
+        for w, share in enumerate(shares):
+            for i, payload in share:
+                _run_item(fn, i, payload, w, ph, label, results, errors)
+        return results, errors
+
+
+class ThreadsBackend(ExecutionBackend):
+    """Worker threads (the pre-backend behaviour, GIL caveats included)."""
+
+    name = "threads"
+
+    def __init__(self, n_workers: int = 1) -> None:
+        super().__init__(n_workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def sweep(self, kernel, srcs, outs, ranges, extra, ph=None,
+              label="cols", size_attr="columns") -> None:
+        live = [(a, b) for a, b in ranges if a != b]
+        fn = SWEEP_KERNELS[kernel]
+
+        def work(rng: Tuple[int, int]) -> None:
+            a, b = rng
+            if ph is not None:
+                with ph.task(f"{label}[{a}:{b}]", **{size_attr: b - a}):
+                    fn(srcs, outs, a, b, extra)
+            else:
+                fn(srcs, outs, a, b, extra)
+
+        if self.n_workers == 1 or len(live) <= 1:
+            for rng in live:
+                work(rng)
+        else:
+            # pool.map is the barrier: all slabs finish before return.
+            list(self._pool().map(work, live))
+
+    def map_shares(self, kernel, shares, n_items, ph=None, label="cb"):
+        fn = ITEM_KERNELS[kernel]
+        results: List[Optional[Any]] = [None] * n_items
+        errors: List[Optional[BaseException]] = [None] * n_items
+
+        def work(indexed_share) -> None:
+            w, share = indexed_share
+            for i, payload in share:
+                _run_item(fn, i, payload, w, ph, label, results, errors)
+
+        if self.n_workers == 1 or len(shares) <= 1:
+            for pair in enumerate(shares):
+                work(pair)
+        else:
+            list(self._pool().map(work, list(enumerate(shares))))
+        return results, errors
+
+
+# ---------------------------------------------------------------------------
+# Process backend: ProcessPoolExecutor + shared-memory array transport.
+# ---------------------------------------------------------------------------
+
+
+def _attach_shared(desc, segments) -> np.ndarray:
+    """Map a shared-memory descriptor ``(name, shape, dtype)`` to an array.
+
+    Attaching must not (re-)register the segment with the resource
+    tracker: only the creating parent owns (and unlinks) it, and a
+    second registration from a worker makes the tracker warn about --
+    or double-unlink -- the name (CPython bpo-39959).  Worker processes
+    run one task at a time, so the brief ``register`` patch is safe.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    name, shape, dtype = desc
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+    segments.append(shm)
+    return np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+def _proc_sweep(kernel, src_descs, out_descs, a, b, extra) -> float:
+    """Worker-side slab execution; returns busy seconds."""
+    t0 = time.perf_counter()
+    segments: List[Any] = []
+    try:
+        srcs = [_attach_shared(d, segments) for d in src_descs]
+        outs = [_attach_shared(d, segments) for d in out_descs]
+        SWEEP_KERNELS[kernel](srcs, outs, a, b, extra)
+    finally:
+        for seg in segments:
+            seg.close()
+    return time.perf_counter() - t0
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """The exception itself when picklable, else a faithful surrogate."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _proc_share(kernel, share):
+    """Worker-side share execution: [(i, result, error, seconds), ...]."""
+    fn = ITEM_KERNELS[kernel]
+    out = []
+    for i, payload in share:
+        t0 = time.perf_counter()
+        result = error = None
+        try:
+            result = fn(payload)
+        except Exception as exc:
+            error = _portable_exception(exc)
+        out.append((i, result, error, time.perf_counter() - t0))
+    return out
+
+
+class ProcessesBackend(ExecutionBackend):
+    """True multi-core execution: a process pool fed via shared memory.
+
+    Sweep operands live in :mod:`multiprocessing.shared_memory`: sources
+    are copied in once per sweep, every worker maps them zero-copy and
+    writes its slab of the shared outputs in place, and the parent copies
+    the assembled outputs back out.  Code-block shares are pickled (they
+    are small and independent).  Worker busy time is measured inside the
+    worker and fed back into the phase recorder, so worker timelines and
+    the Amdahl accounting stay comparable with the in-process backends.
+    """
+
+    name = "processes"
+
+    def __init__(self, n_workers: int = 1) -> None:
+        super().__init__(n_workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing as mp
+
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=mp.get_context(method)
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    # -- sweeps -------------------------------------------------------------
+
+    def _export(self, arr: np.ndarray, segments: List[Any]):
+        """Create a shared segment for ``arr``; returns (descriptor, view)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        segments.append(shm)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        return (shm.name, arr.shape, arr.dtype.str), view
+
+    def sweep(self, kernel, srcs, outs, ranges, extra, ph=None,
+              label="cols", size_attr="columns") -> None:
+        live = [(a, b) for a, b in ranges if a != b]
+        if not live:
+            return
+        degenerate = any(arr.nbytes == 0 for arr in list(srcs) + list(outs))
+        if self.n_workers == 1 or len(live) <= 1 or degenerate:
+            # Nothing to gain from IPC; run the reference path in place.
+            SerialBackend(1).sweep(
+                kernel, srcs, outs, ranges, extra, ph=ph,
+                label=label, size_attr=size_attr,
+            )
+            return
+        segments: List[Any] = []
+        try:
+            src_descs = []
+            for arr in srcs:
+                desc, view = self._export(np.ascontiguousarray(arr), segments)
+                view[...] = arr
+                src_descs.append(desc)
+            out_descs = []
+            out_views = []
+            for arr in outs:
+                desc, view = self._export(arr, segments)
+                out_descs.append(desc)
+                out_views.append(view)
+            pool = self._pool()
+            futures = [
+                pool.submit(_proc_sweep, kernel, src_descs, out_descs, a, b, extra)
+                for a, b in live
+            ]
+            for w, ((a, b), fut) in enumerate(zip(live, futures)):
+                busy = fut.result()
+                if ph is not None:
+                    ph.record(
+                        f"{label}[{a}:{b}]", worker=w, seconds=busy,
+                        **{size_attr: b - a},
+                    )
+            for arr, view in zip(outs, out_views):
+                arr[...] = view
+        finally:
+            for seg in segments:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
+
+    # -- independent items --------------------------------------------------
+
+    def map_shares(self, kernel, shares, n_items, ph=None, label="cb"):
+        results: List[Optional[Any]] = [None] * n_items
+        errors: List[Optional[BaseException]] = [None] * n_items
+        live = [(w, list(share)) for w, share in enumerate(shares) if share]
+        if self.n_workers == 1 or len(live) <= 1:
+            return SerialBackend(1).map_shares(kernel, shares, n_items, ph, label)
+        pool = self._pool()
+        futures = [pool.submit(_proc_share, kernel, share) for _, share in live]
+        for (w, _), fut in zip(live, futures):
+            for i, result, error, busy in fut.result():
+                results[i] = result
+                errors[i] = error
+                if ph is not None:
+                    attrs = {"block": i}
+                    if error is not None:
+                        attrs["concealed"] = True
+                    ph.record(f"{label}-{i}", worker=w, seconds=busy, **attrs)
+        return results, errors
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "threads": ThreadsBackend,
+    "processes": ProcessesBackend,
+}
+
+
+def get_backend(name: str, n_workers: int = 1) -> ExecutionBackend:
+    """Instantiate a backend by name (``serial``/``threads``/``processes``)."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; options: {', '.join(BACKEND_NAMES)}"
+        ) from None
+    return cls(n_workers)
+
+
+def resolve_backend(backend, n_workers: int = 1) -> Tuple[ExecutionBackend, bool]:
+    """Normalize a backend argument to ``(instance, owned)``.
+
+    ``backend`` may be ``None`` (the historical ``threads`` behaviour),
+    a name, or a live :class:`ExecutionBackend`.  ``owned`` tells the
+    caller whether it created the instance and must close it; passed-in
+    instances keep their caller-managed lifetime (and their own
+    ``n_workers``, which wins over the ``n_workers`` argument).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend, False
+    if backend is None:
+        backend = "threads"
+    return get_backend(backend, n_workers), True

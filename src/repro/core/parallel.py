@@ -1,4 +1,4 @@
-"""Real (thread-based) parallel implementations of the paper's methods.
+"""Real parallel implementations of the paper's methods.
 
 These are the executable counterparts of the techniques the performance
 model simulates -- numerically exact and property-tested against the
@@ -7,32 +7,38 @@ serial paths:
 - :func:`parallel_dwt2d` / :func:`parallel_idwt2d`: multilevel transform
   whose per-level vertical and horizontal sweeps are partitioned
   statically across a worker pool, with a barrier between directions
-  (the pool's ``map`` is the barrier), exactly the structure of Sec. 3.2.
+  (the sweep is the barrier), exactly the structure of Sec. 3.2.
 - :func:`parallel_encode_blocks`: tier-1 over a worker pool with the
   paper's staggered round-robin assignment.
 - :func:`parallel_quantize`: coefficient chunks across workers
   (Sec. 3.3).
 
-Wall-clock note: under CPython's GIL only the NumPy-released portions
-run concurrently, and this container has a single core -- so these
-functions demonstrate and test *correctness* of the parallel
-decomposition; all speedup numbers in the experiments come from the
-deterministic SMP model (see DESIGN.md).
+Every function takes a ``backend`` -- a name from
+:data:`repro.core.backend.BACKEND_NAMES` or a live
+:class:`~repro.core.backend.ExecutionBackend` -- selecting *how* the
+static decomposition executes: ``serial`` in the calling thread,
+``threads`` on a thread pool (the historical default; under CPython's
+GIL only NumPy-released sections overlap), or ``processes`` on a
+process pool whose sweeps share arrays through
+:mod:`multiprocessing.shared_memory` and therefore scale across cores.
+Results are bit-identical across backends and worker counts (the
+differential harness in ``tests/test_backends_differential.py`` holds
+all three to byte-identical codestreams); all *simulated* speedup
+numbers in the experiments still come from the deterministic SMP model
+(see DESIGN.md).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ebcot.t1 import EncodedBlock, decode_codeblock, encode_codeblock
-from ..quant.deadzone import quantize
+from ..ebcot.t1 import EncodedBlock
 from ..smp.pool import staggered_round_robin
 from ..wavelet.dwt2d import Subbands
 from ..wavelet.filters import get_filter
-from ..wavelet.lifting import dwt1d, idwt1d
+from .backend import resolve_backend
 
 __all__ = [
     "parallel_dwt2d",
@@ -57,11 +63,7 @@ def _split_ranges(n: int, parts: int) -> List[Tuple[int, int]]:
 
 
 def _parallel_1d(
-    data: np.ndarray,
-    bank,
-    pool: Optional[ThreadPoolExecutor],
-    n_workers: int,
-    ph=None,
+    data: np.ndarray, bank, backend, ph=None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """One filtering sweep along axis 0, columns statically partitioned.
 
@@ -75,26 +77,10 @@ def _parallel_1d(
     dtype = np.int64 if bank.reversible else np.float64
     low = np.empty((n_low, n_cols), dtype=dtype)
     high = np.empty((n_high, n_cols), dtype=dtype)
-    ranges = _split_ranges(n_cols, n_workers)
-
-    def work(rng: Tuple[int, int]) -> None:
-        a, b = rng
-        if a == b:
-            return
-        if ph is not None:
-            with ph.task(f"cols[{a}:{b}]", columns=b - a):
-                lo, hi = dwt1d(data[:, a:b], bank)
-        else:
-            lo, hi = dwt1d(data[:, a:b], bank)
-        low[:, a:b] = lo
-        high[:, a:b] = hi
-
-    if pool is None or len(ranges) == 1:
-        for rng in ranges:
-            work(rng)
-    else:
-        # pool.map is the barrier: all column slabs finish before return.
-        list(pool.map(work, ranges))
+    ranges = _split_ranges(n_cols, backend.n_workers)
+    backend.sweep(
+        "dwt", (data,), (low, high), ranges, {"filter": bank.name}, ph=ph
+    )
     return low, high
 
 
@@ -104,17 +90,20 @@ def parallel_dwt2d(
     filter_name: str = "9/7",
     n_workers: int = 1,
     tracer=None,
+    backend=None,
 ) -> Subbands:
     """Multilevel 2-D DWT with statically partitioned parallel sweeps.
 
-    Bit-identical to :func:`repro.wavelet.dwt2d` (tested): parallelism
-    only re-orders independent column/row slabs.  A barrier separates the
-    vertical and horizontal filtering of each level, as in the paper.
+    Bit-identical to :func:`repro.wavelet.dwt2d` (tested) on every
+    backend: parallelism only re-orders independent column/row slabs.
+    A barrier separates the vertical and horizontal filtering of each
+    level, as in the paper.
 
     ``tracer`` (optional :class:`repro.obs.Tracer`) records one barrier
     phase per sweep -- ``DWT vertical L<n>`` / ``DWT horizontal L<n>`` --
     with per-worker slab tasks, queue waits, and the barrier wait between
-    the vertical and horizontal sweeps of each level.
+    the vertical and horizontal sweeps of each level.  ``backend``
+    selects the execution backend (default: ``threads``).
     """
     bank = get_filter(filter_name)
     a = np.asarray(image)
@@ -124,22 +113,22 @@ def parallel_dwt2d(
         raise ValueError("need at least one worker")
     current = a if bank.reversible else np.asarray(a, dtype=np.float64)
     details: List[Dict[str, np.ndarray]] = []
-    pool = ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
+    bk, owned = resolve_backend(backend, n_workers)
     try:
         for lvl in range(1, levels + 1):
             if tracer is None:
-                low_v, high_v = _parallel_1d(current, bank, pool, n_workers)
-                ll_t, hl_t = _parallel_1d(np.ascontiguousarray(low_v.T), bank, pool, n_workers)
-                lh_t, hh_t = _parallel_1d(np.ascontiguousarray(high_v.T), bank, pool, n_workers)
+                low_v, high_v = _parallel_1d(current, bank, bk)
+                ll_t, hl_t = _parallel_1d(np.ascontiguousarray(low_v.T), bank, bk)
+                lh_t, hh_t = _parallel_1d(np.ascontiguousarray(high_v.T), bank, bk)
             else:
-                with tracer.phase(f"DWT vertical L{lvl}") as ph:
-                    low_v, high_v = _parallel_1d(current, bank, pool, n_workers, ph)
-                with tracer.phase(f"DWT horizontal L{lvl}") as ph:
+                with tracer.phase(f"DWT vertical L{lvl}", backend=bk.name) as ph:
+                    low_v, high_v = _parallel_1d(current, bank, bk, ph)
+                with tracer.phase(f"DWT horizontal L{lvl}", backend=bk.name) as ph:
                     ll_t, hl_t = _parallel_1d(
-                        np.ascontiguousarray(low_v.T), bank, pool, n_workers, ph
+                        np.ascontiguousarray(low_v.T), bank, bk, ph
                     )
                     lh_t, hh_t = _parallel_1d(
-                        np.ascontiguousarray(high_v.T), bank, pool, n_workers, ph
+                        np.ascontiguousarray(high_v.T), bank, bk, ph
                     )
             details.append(
                 {
@@ -150,51 +139,39 @@ def parallel_dwt2d(
             )
             current = np.ascontiguousarray(ll_t.T)
     finally:
-        if pool is not None:
-            pool.shutdown()
+        if owned:
+            bk.close()
     return Subbands(ll=current, details=details, shape=a.shape, filter_name=filter_name)
 
 
 def parallel_idwt2d(
-    subbands: Subbands, n_workers: int = 1, tracer=None
+    subbands: Subbands, n_workers: int = 1, tracer=None, backend=None
 ) -> np.ndarray:
     """Inverse of :func:`parallel_dwt2d` with the same partitioning.
 
     ``tracer`` records the mirrored barrier phases (``IDWT horizontal
-    L<n>`` / ``IDWT vertical L<n>``) with per-worker slab tasks.
+    L<n>`` / ``IDWT vertical L<n>``) with per-worker slab tasks;
+    ``backend`` selects the execution backend (default: ``threads``).
     """
     bank = get_filter(subbands.filter_name)
     if n_workers < 1:
         raise ValueError("need at least one worker")
-    pool = ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
+    bk, owned = resolve_backend(backend, n_workers)
 
     def inv_sweep(low: np.ndarray, high: np.ndarray, ph=None) -> np.ndarray:
         n_cols = low.shape[1]
-        ranges = _split_ranges(n_cols, n_workers)
+        ranges = _split_ranges(n_cols, bk.n_workers)
         n = low.shape[0] + high.shape[0]
         out = np.empty((n, n_cols), dtype=np.int64 if bank.reversible else np.float64)
-
-        def work(rng: Tuple[int, int]) -> None:
-            a, b = rng
-            if a == b:
-                return
-            if ph is not None:
-                with ph.task(f"cols[{a}:{b}]", columns=b - a):
-                    out[:, a:b] = idwt1d(low[:, a:b], high[:, a:b], bank)
-            else:
-                out[:, a:b] = idwt1d(low[:, a:b], high[:, a:b], bank)
-
-        if pool is None or len(ranges) == 1:
-            for rng in ranges:
-                work(rng)
-        else:
-            list(pool.map(work, ranges))
+        bk.sweep(
+            "idwt", (low, high), (out,), ranges, {"filter": bank.name}, ph=ph
+        )
         return out
 
     def traced_sweep(name: str, low: np.ndarray, high: np.ndarray) -> np.ndarray:
         if tracer is None:
             return inv_sweep(low, high)
-        with tracer.phase(name) as ph:
+        with tracer.phase(name, backend=bk.name) as ph:
             return inv_sweep(low, high, ph)
 
     try:
@@ -214,9 +191,16 @@ def parallel_idwt2d(
                 np.ascontiguousarray(low_v), np.ascontiguousarray(high_v),
             )
     finally:
-        if pool is not None:
-            pool.shutdown()
+        if owned:
+            bk.close()
     return current
+
+
+def _shares(indexed, scheduler, n_workers: int):
+    """Deal indexed items to workers (single share when pooling is moot)."""
+    if n_workers == 1 or len(indexed) <= 1:
+        return [list(indexed)]
+    return [list(s) for s in scheduler(indexed, n_workers)]
 
 
 def parallel_encode_blocks(
@@ -224,52 +208,42 @@ def parallel_encode_blocks(
     n_workers: int = 1,
     scheduler=staggered_round_robin,
     tracer=None,
+    backend=None,
 ) -> List[EncodedBlock]:
     """Tier-1 code every block on a worker pool.
 
     ``blocks`` are ``(coefficients, orientation)`` pairs in scan order;
     the scheduler (default: the paper's staggered round robin) deals them
     to workers.  Results return in the input order regardless of the
-    schedule.  ``tracer`` records one ``tier-1 encode pool`` phase with
-    one task per code-block (worker id from the schedule).
+    schedule or backend.  ``tracer`` records one ``tier-1 encode pool``
+    phase with one task per code-block (worker id from the schedule).
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
+    bk, owned = resolve_backend(backend, n_workers)
     indexed = list(enumerate(blocks))
-    results: List[Optional[EncodedBlock]] = [None] * len(indexed)
+    try:
+        def run(ph):
+            shares = _shares(indexed, scheduler, bk.n_workers)
+            return bk.map_shares("encode", shares, len(indexed), ph=ph, label="cb")
 
-    def encode_one(i: int, coeffs, orient: str, worker: int, ph) -> None:
-        if ph is not None:
-            with ph.task(f"cb-{i}", worker=worker, block=i):
-                results[i] = encode_codeblock(coeffs, orient)
+        if tracer is None:
+            results, errors = run(None)
         else:
-            results[i] = encode_codeblock(coeffs, orient)
-
-    def run(ph) -> None:
-        if n_workers == 1 or len(indexed) <= 1:
-            for i, (coeffs, orient) in indexed:
-                encode_one(i, coeffs, orient, 0, ph)
-            return
-        assignment = scheduler(indexed, n_workers)
-
-        def work(share) -> None:
-            w, items = share
-            for i, (coeffs, orient) in items:
-                encode_one(i, coeffs, orient, w, ph)
-
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            list(pool.map(work, list(enumerate(assignment))))
-
-    if tracer is None:
-        run(None)
-    else:
-        with tracer.phase("tier-1 encode pool", n_blocks=len(indexed)) as ph:
-            run(ph)
-    if n_workers > 1 and len(indexed) > 1:
-        missing = [i for i, r in enumerate(results) if r is None]
-        if missing:  # pragma: no cover - defensive
-            raise RuntimeError(f"blocks not coded: {missing}")
-    return [r for r in results if r is not None]
+            with tracer.phase(
+                "tier-1 encode pool", n_blocks=len(indexed), backend=bk.name
+            ) as ph:
+                results, errors = run(ph)
+    finally:
+        if owned:
+            bk.close()
+    for err in errors:
+        if err is not None:
+            raise err
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"blocks not coded: {missing}")
+    return list(results)
 
 
 def parallel_decode_blocks(
@@ -280,6 +254,7 @@ def parallel_decode_blocks(
     stats=None,
     tracer=None,
     metrics=None,
+    backend=None,
 ) -> List[Optional[Tuple["np.ndarray", int]]]:
     """Tier-1 decode every block on a worker pool (decoder-side twin of
     :func:`parallel_encode_blocks`).
@@ -295,7 +270,9 @@ def parallel_decode_blocks(
     pool in a half-finished state.  ``"conceal"`` captures per-block
     exceptions and returns ``None`` in that block's slot; the caller
     zero-fills.  Either way the outcome is identical for any
-    ``n_workers`` because capture happens per task, not per worker.
+    ``n_workers`` and any ``backend``, because capture happens per task,
+    not per worker (the process backend ships the exception back to the
+    parent).
 
     Concealment accounting happens *here*, where the failures are
     observed: ``stats`` (a :class:`~repro.codec.resilience.TileStats`
@@ -311,46 +288,23 @@ def parallel_decode_blocks(
         raise ValueError("need at least one worker")
     if on_error not in ("raise", "conceal"):
         raise ValueError(f"on_error must be 'raise' or 'conceal', got {on_error!r}")
+    bk, owned = resolve_backend(backend, n_workers)
     indexed = list(enumerate(blocks))
-    results: List[Optional[Tuple[np.ndarray, int]]] = [None] * len(indexed)
-    errors: List[Optional[BaseException]] = [None] * len(indexed)
+    try:
+        def run(ph):
+            shares = _shares(indexed, scheduler, bk.n_workers)
+            return bk.map_shares("decode", shares, len(indexed), ph=ph, label="cb")
 
-    def decode_one(i: int, args, worker: int, ph) -> None:
-        data, shape, orient, n_planes, n_passes = args
-        rec = None
-        try:
-            if ph is not None:
-                with ph.task(f"cb-{i}", worker=worker, block=i) as rec:
-                    results[i] = decode_codeblock(
-                        data, shape, orient, n_planes, n_passes
-                    )
-            else:
-                results[i] = decode_codeblock(data, shape, orient, n_planes, n_passes)
-        except Exception as exc:
-            errors[i] = exc
-            if rec is not None:
-                rec.attrs["concealed"] = True
-
-    def run(ph) -> None:
-        if n_workers == 1 or len(indexed) <= 1:
-            for i, args in indexed:
-                decode_one(i, args, 0, ph)
-            return
-        assignment = scheduler(indexed, n_workers)
-
-        def work(share) -> None:
-            w, items = share
-            for i, args in items:
-                decode_one(i, args, w, ph)
-
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            list(pool.map(work, list(enumerate(assignment))))
-
-    if tracer is None:
-        run(None)
-    else:
-        with tracer.phase("tier-1 decode pool", n_blocks=len(indexed)) as ph:
-            run(ph)
+        if tracer is None:
+            results, errors = run(None)
+        else:
+            with tracer.phase(
+                "tier-1 decode pool", n_blocks=len(indexed), backend=bk.name
+            ) as ph:
+                results, errors = run(ph)
+    finally:
+        if owned:
+            bk.close()
 
     if on_error == "raise":
         for err in errors:
@@ -359,7 +313,7 @@ def parallel_decode_blocks(
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:  # pragma: no cover - defensive
             raise RuntimeError(f"blocks not decoded: {missing}")
-        return results
+        return list(results)
 
     concealed = sum(1 for err in errors if err is not None)
     if concealed:
@@ -370,45 +324,41 @@ def parallel_decode_blocks(
                 "repro_blocks_concealed_total",
                 "code-blocks concealed (zero-filled)",
             ).inc(concealed)
-    return results
+    return list(results)
 
 
 def parallel_quantize(
-    coeffs: np.ndarray, step: float, n_workers: int = 1, tracer=None
+    coeffs: np.ndarray, step: float, n_workers: int = 1, tracer=None, backend=None
 ) -> np.ndarray:
     """Dead-zone quantization with coefficient chunks across workers.
 
     "Every processor may have a chunk of coefficients from the wavelet
     transform which it has to quantize" (Sec. 3.3).  ``tracer`` records
-    one ``quantization chunks`` phase with a task per chunk.
+    one ``quantization chunks`` phase with a task per chunk; ``backend``
+    selects the execution backend (default: ``threads``).
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
     flat = np.ascontiguousarray(coeffs).reshape(-1)
     out = np.empty(flat.shape, dtype=np.int32)
-    ranges = _split_ranges(flat.size, n_workers)
+    bk, owned = resolve_backend(backend, n_workers)
+    try:
+        ranges = _split_ranges(flat.size, bk.n_workers)
 
-    def work(rng: Tuple[int, int], ph=None) -> None:
-        a, b = rng
-        if a == b:
-            return
-        if ph is not None:
-            with ph.task(f"chunk[{a}:{b}]", samples=b - a):
-                out[a:b] = quantize(flat[a:b], step)
+        def run(ph):
+            bk.sweep(
+                "quantize", (flat,), (out,), ranges, {"step": step},
+                ph=ph, label="chunk", size_attr="samples",
+            )
+
+        if tracer is None:
+            run(None)
         else:
-            out[a:b] = quantize(flat[a:b], step)
-
-    def run(ph) -> None:
-        if n_workers == 1 or len(ranges) == 1:
-            for rng in ranges:
-                work(rng, ph)
-        else:
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                list(pool.map(lambda rng: work(rng, ph), ranges))
-
-    if tracer is None:
-        run(None)
-    else:
-        with tracer.phase("quantization chunks", samples=flat.size) as ph:
-            run(ph)
+            with tracer.phase(
+                "quantization chunks", samples=flat.size, backend=bk.name
+            ) as ph:
+                run(ph)
+    finally:
+        if owned:
+            bk.close()
     return out.reshape(coeffs.shape)

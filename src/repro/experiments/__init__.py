@@ -17,6 +17,7 @@ Every module exposes ``run(quick=False) -> ExperimentResult``:
 ``fig13_sgi_classical``   Classical speedup vs optimized serial (SGI)
 ``sec33_quant``        Quantization-stage parallel speedup
 ``sec34_amdahl``       Theoretical (Amdahl) vs measured speedups
+``ext_backends``       Extension: serial/threads/processes execution backends
 ``ext_decoder``        Extension: the techniques applied to decoding
 ``ext_message_passing``  Extension: SMP vs message-passing clusters
 ``ext_observability``  Extension: tracing, worker timelines, Amdahl accounting
@@ -42,6 +43,7 @@ __all__ = [
 def all_experiments():
     """Import and return every experiment module, keyed by name."""
     from . import (
+        ext_backends,
         ext_decoder,
         ext_message_passing,
         ext_observability,
@@ -77,6 +79,7 @@ def all_experiments():
         fig13_sgi_classical,
         sec33_quant,
         sec34_amdahl,
+        ext_backends,
         ext_decoder,
         ext_message_passing,
         ext_observability,

@@ -297,6 +297,36 @@ class PhaseRecorder:
             with self._lock:
                 self._tasks.append(rec)
 
+    def record(
+        self,
+        name: str,
+        worker: int,
+        seconds: float,
+        **attrs: Any,
+    ) -> TaskRecord:
+        """Append a task whose busy time was measured elsewhere.
+
+        The process execution backend measures each slab/block inside
+        the worker process (the parent cannot observe it directly) and
+        reports the duration here when the future resolves; the task is
+        anchored to end "now", so queue and barrier waits still come out
+        of this tracer's clock.
+        """
+        t1 = self.tracer.now()
+        t0 = t1 - max(0.0, seconds)
+        rec = TaskRecord(
+            worker=self.worker_id(worker),
+            name=name,
+            phase=self.name,
+            t0=t0,
+            t1=t1,
+            queue_wait=max(0.0, t0 - self.t0),
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._tasks.append(rec)
+        return rec
+
     def close(self) -> None:
         t1 = self.tracer.now()
         with self._lock:

@@ -115,12 +115,16 @@ class SimulatedSMP:
         self.n_cpus = n_cpus
 
     def run_phase(
-        self, name: str, assignment: Sequence[Sequence[Task]]
+        self, name: str, assignment: Sequence[Sequence[Task]], backend=None
     ) -> PhaseResult:
         """Execute one barrier phase from a per-CPU task assignment.
 
         ``assignment`` may use fewer lists than ``n_cpus`` (idle CPUs) but
-        never more.
+        never more.  ``backend`` (a resolved
+        :class:`~repro.core.backend.ExecutionBackend`, optional) rolls up
+        each simulated CPU's task costs on that backend -- the totals are
+        summed in the same per-CPU order, so the simulated timeline is
+        identical on every backend.
         """
         if len(assignment) > self.n_cpus:
             raise ValueError(
@@ -129,14 +133,31 @@ class SimulatedSMP:
         m = self.machine
         per_cpu: List[float] = []
         total_ops = total_l1 = total_l2 = 0.0
-        for cpu_tasks in assignment:
-            cycles = 0.0
-            for t in cpu_tasks:
-                cycles += t.cycles(m)
-                total_ops += t.ops
-                total_l1 += t.l1_misses
-                total_l2 += t.l2_misses
-            per_cpu.append(cycles)
+        if backend is not None and assignment:
+            shares = [
+                [(cpu, (tuple(cpu_tasks), m))]
+                for cpu, cpu_tasks in enumerate(assignment)
+            ]
+            rollups, errors = backend.map_shares(
+                "smp-cycles", shares, len(assignment), label="cpu"
+            )
+            for err in errors:
+                if err is not None:
+                    raise err
+            for cycles, ops, l1, l2 in rollups:
+                per_cpu.append(cycles)
+                total_ops += ops
+                total_l1 += l1
+                total_l2 += l2
+        else:
+            for cpu_tasks in assignment:
+                cycles = 0.0
+                for t in cpu_tasks:
+                    cycles += t.cycles(m)
+                    total_ops += t.ops
+                    total_l1 += t.l1_misses
+                    total_l2 += t.l2_misses
+                per_cpu.append(cycles)
         bus_cycles = m.bus.transfer_cycles(total_l2)
         cycles = max(max(per_cpu, default=0.0), bus_cycles)
         return PhaseResult(
@@ -155,7 +176,7 @@ class SimulatedSMP:
         return self.run_phase(name, [list(tasks)])
 
     def run(
-        self, phases: Sequence[tuple], tracer: Optional[Tracer] = None
+        self, phases: Sequence[tuple], tracer: Optional[Tracer] = None, backend=None
     ) -> RunResult:
         """Execute a sequence of ``(name, assignment)`` barrier phases.
 
@@ -165,10 +186,26 @@ class SimulatedSMP:
         Timestamps are simulated seconds from the run's start, so the
         Chrome-trace export shows the deterministic SMP schedule exactly
         as the model computed it.
+
+        ``backend`` (an execution-backend name or instance, optional)
+        evaluates the per-CPU cost roll-ups of every phase on that
+        backend.  The simulation stays deterministic -- per-CPU sums run
+        in the same order everywhere -- so results are identical across
+        backends (part of the differential harness).
         """
         result = RunResult(machine=self.machine)
-        for name, assignment in phases:
-            result.phases.append(self.run_phase(name, assignment))
+        bk = owned = None
+        if backend is not None:
+            from ..core.backend import resolve_backend
+
+            bk, was_created = resolve_backend(backend, self.n_cpus)
+            owned = bk if was_created else None
+        try:
+            for name, assignment in phases:
+                result.phases.append(self.run_phase(name, assignment, backend=bk))
+        finally:
+            if owned is not None:
+                owned.close()
         if tracer is not None:
             self._emit_timeline(result, tracer)
         return result

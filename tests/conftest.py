@@ -46,3 +46,49 @@ def encoded_medium(medium_image):
     return encode_image(
         medium_image, CodecParams(levels=3, base_step=1 / 64, cb_size=32)
     )
+
+
+@pytest.fixture(scope="session")
+def process_backend():
+    """One shared 2-worker process pool for the whole test session.
+
+    Forking a pool per test would dominate runtime; the backend is
+    stateless between calls, so sharing it is safe.
+    """
+    from repro.core.backend import get_backend
+
+    bk = get_backend("processes", 2)
+    yield bk
+    bk.close()
+
+
+def seeded_image(seed: int, h: int, w: int, kind: str = "noise") -> np.ndarray:
+    """Deterministic test image for the differential/property matrices.
+
+    ``noise`` exercises the coder's worst case, ``ramp`` its best,
+    ``constant`` the all-zero-bitplane edge, ``edges`` sharp
+    discontinuities (splits sign coding from magnitude refinement).
+    """
+    rng_ = np.random.default_rng(seed)
+    if kind == "constant":
+        return np.full((h, w), float(int(rng_.integers(0, 256))))
+    if kind == "ramp":
+        r = np.arange(h, dtype=np.float64)[:, None]
+        c = np.arange(w, dtype=np.float64)[None, :]
+        return np.floor((r * 255 / max(h - 1, 1) + c * 255 / max(w - 1, 1)) / 2)
+    if kind == "edges":
+        img = np.full((h, w), 32.0)
+        img[h // 2:, :] = 224.0
+        if w > 2:
+            img[:, w // 3] = 0.0
+        return img
+    return rng_.integers(0, 256, size=(h, w)).astype(np.float64)
+
+
+def encode_bytes(image, params, *, backend=None, n_workers=1) -> bytes:
+    """Encode and return just the codestream bytes."""
+    from repro.codec import encode_image
+
+    return encode_image(
+        image, params, n_workers=n_workers, backend=backend
+    ).data

@@ -254,6 +254,45 @@ class TestWorkerEquivalence:
         assert r1.packets_dropped == r4.packets_dropped
 
 
+class TestBackendEquivalence:
+    """Damage concealment is backend-invariant: the process pool must
+    report exactly the serial path's DecodeReport, not just a similar
+    image -- exception capture happens per block on every backend."""
+
+    @pytest.mark.parametrize("rate,seed", [(1e-3, 7), (1e-2, 11), (0.1, 13)])
+    def test_resilient_decode_identical_across_backends(
+        self, framed, rate, seed, process_backend
+    ):
+        bad = faults.inject(
+            framed, mode="bitflip", rate=rate, seed=seed,
+            skip_prefix=main_header_size(True),
+        )
+        ref_img, ref_rep = decode_image(bad, resilient=True, backend="serial")
+        for backend in ("threads", process_backend):
+            img, rep = decode_image(
+                bad, resilient=True, n_workers=2, backend=backend
+            )
+            assert np.array_equal(img, ref_img)
+            assert rep.blocks_concealed == ref_rep.blocks_concealed
+            assert rep.packets_dropped == ref_rep.packets_dropped
+            assert rep.summary() == ref_rep.summary()
+
+    @pytest.mark.parametrize("mode", ["truncate", "burst"])
+    def test_structural_damage_identical_across_backends(
+        self, framed, mode, process_backend
+    ):
+        bad = faults.inject(
+            framed, mode=mode, rate=0.05, seed=3,
+            skip_prefix=main_header_size(True),
+        )
+        ref_img, ref_rep = decode_image(bad, resilient=True, backend="serial")
+        img, rep = decode_image(
+            bad, resilient=True, n_workers=2, backend=process_backend
+        )
+        assert np.array_equal(img, ref_img)
+        assert rep.summary() == ref_rep.summary()
+
+
 class TestParallelFaultIsolation:
     @pytest.fixture(scope="class")
     def jobs(self):
@@ -292,6 +331,21 @@ class TestParallelFaultIsolation:
         for n in (1, 4):
             with pytest.raises(Exception):
                 parallel_decode_blocks(poisoned, n_workers=n, on_error="raise")
+
+    def test_conceal_isolates_on_process_backend(self, jobs, process_backend):
+        """The poisoned block's exception ships back across the process
+        boundary and is concealed in place, exactly as in-thread."""
+        from repro.core.parallel import parallel_decode_blocks
+
+        good_jobs, coeffs = jobs
+        poisoned = list(good_jobs)
+        poisoned[2] = (None, (16, 16), "LL", 5, None)
+        outs = parallel_decode_blocks(
+            poisoned, n_workers=2, on_error="conceal", backend=process_backend
+        )
+        assert outs[2] is None
+        for i in (0, 1, 3, 4, 5):
+            assert np.array_equal(outs[i][0], coeffs[i][0])
 
     def test_results_identical_any_worker_count(self, jobs):
         from repro.core.parallel import parallel_decode_blocks
