@@ -1,0 +1,11 @@
+"""Full-scale extension study: recovery overhead of supervised
+execution under injected compute faults -- byte-identity against the
+serial reference throughout (see the experiment module's docstring)."""
+
+from repro.experiments import ext_faulttolerance as _mod
+
+from conftest import run_experiment
+
+
+def test_bench_ext_faulttolerance(benchmark):
+    run_experiment(benchmark, _mod)

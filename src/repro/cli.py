@@ -9,6 +9,8 @@ Usage::
     python -m repro info   output.rj2k
     python -m repro synth  test.pgm --side 512 [--kind mix] [--seed 0]
     python -m repro faults inject in.rj2k out.rj2k --mode bitflip --rate 1e-4
+    python -m repro faults exec test.pgm --fault kill:map:0:0 --backend processes
+                    --workers 4 [--max-retries N] [--phase-timeout S]
     python -m repro trace  encode test.pgm --trace-out t.json --format chrome
     python -m repro trace  decode out.rj2k --workers 4 --format table
     python -m repro experiments [--quick] [-o EXPERIMENTS.md]
@@ -17,6 +19,15 @@ Usage::
 breakdown (Fig. 3) of that one run; ``trace`` is the full-featured
 version with Chrome-trace / Prometheus / table exporters and the
 Sec. 3.4 Amdahl summary.
+
+``--supervise`` (with ``--max-retries``, ``--phase-timeout`` and
+``--no-degrade``) runs the parallel stages fault-tolerantly: worker
+death and hangs trigger pool rebuilds and retries of only the
+unfinished work, and exhausted retries degrade ``processes -> threads
+-> serial`` unless ``--no-degrade``.  ``faults exec`` demonstrates the
+machinery: it encodes under an injected compute-fault schedule and
+verifies the supervised codestream is byte-identical to the serial
+reference.
 
 The codestream format is this library's own (structurally JPEG2000-like;
 see DESIGN.md); ``info`` prints its parameters and tile layout.
@@ -55,10 +66,13 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
     result = encode_image(
-        img, params, tracer=tracer, n_workers=args.workers, backend=args.backend
+        img, params, tracer=tracer, n_workers=args.workers,
+        backend=args.backend, supervise=_policy_from_args(args),
     )
     with open(args.output, "wb") as fh:
         fh.write(result.data)
+    if result.supervision is not None:
+        print(result.supervision.summary())
     if tracer is not None:
         from .obs import stage_table
 
@@ -86,16 +100,17 @@ def _cmd_decode(args: argparse.Namespace) -> int:
         from .obs import Tracer
 
         tracer = Tracer()
+    policy = _policy_from_args(args)
     if args.resilient:
         img, report = decode_image(
             data, max_layer=args.layer, resilient=True, tracer=tracer,
-            n_workers=args.workers, backend=args.backend,
+            n_workers=args.workers, backend=args.backend, supervise=policy,
         )
         print(report.summary())
     else:
         img = decode_image(
             data, max_layer=args.layer, tracer=tracer,
-            n_workers=args.workers, backend=args.backend,
+            n_workers=args.workers, backend=args.backend, supervise=policy,
         )
     write_pnm(args.output, img)
     kind = "PPM" if img.ndim == 3 else "PGM"
@@ -232,6 +247,56 @@ def _cmd_faults_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_exec(args: argparse.Namespace) -> int:
+    """Encode under injected compute faults; verify byte-identity.
+
+    Runs the serial reference encode first, then the same encode on a
+    chaos-wrapped supervised backend, and checks the two codestreams are
+    byte-identical -- the tentpole guarantee of the supervision layer.
+    """
+    from . import faults
+    from .core.backend import get_backend
+    from .core.supervise import SupervisionPolicy, supervised
+
+    img = read_pnm(args.input)
+    params = CodecParams(
+        levels=args.levels,
+        filter_name="5/3" if args.lossless else "9/7",
+        cb_size=args.cb_size,
+        target_bpp=tuple(args.bpp) if args.bpp else None,
+        tile_size=args.tile_size,
+    )
+    reference = encode_image(img, params).data
+    schedule = [faults.ComputeFault.parse(spec) for spec in args.fault]
+    policy = _policy_from_args(args) or SupervisionPolicy()
+    if any(f.kind == "hang" for f in schedule) and policy.phase_timeout is None:
+        print(
+            "note: hang fault without --phase-timeout; each hang blocks "
+            f"for its full duration (default {faults._DEFAULT_HANG:g} s)"
+        )
+    inner = get_backend(args.backend or "threads", args.workers)
+    sup = supervised(
+        faults.FaultyBackend(inner, schedule), policy, owns_inner=True
+    )
+    try:
+        result = encode_image(img, params, backend=sup, n_workers=args.workers)
+    finally:
+        sup.close()
+    for spec in args.fault:
+        print(f"fault   : {spec}")
+    print(sup.report.summary())
+    identical = result.data == reference
+    print(
+        f"verdict : {'byte-identical to serial reference OK' if identical else 'MISMATCH vs serial reference'}"
+        f" ({len(result.data)} bytes)"
+    )
+    if args.output:
+        with open(args.output, "wb") as fh:
+            fh.write(result.data)
+        print(f"wrote {args.output}")
+    return 0 if identical else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.report import main as report_main
 
@@ -254,6 +319,47 @@ def _add_backend_args(p: argparse.ArgumentParser) -> None:
         "--backend", choices=BACKEND_NAMES, default=None,
         help="execution backend for the parallel stages "
         "(default: threads when --workers > 1)",
+    )
+    _add_supervision_args(p)
+
+
+def _add_supervision_args(p: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs (``--supervise`` and friends)."""
+    p.add_argument(
+        "--supervise", action="store_true",
+        help="run the parallel stages fault-tolerantly: retry crashed or "
+        "hung work on a rebuilt pool, degrade processes->threads->serial",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries per backend rung before degrading (implies --supervise)",
+    )
+    p.add_argument(
+        "--phase-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per parallel phase attempt (implies --supervise)",
+    )
+    p.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail instead of walking the degradation ladder "
+        "(implies --supervise)",
+    )
+
+
+def _policy_from_args(args: argparse.Namespace):
+    """A SupervisionPolicy from CLI knobs, or None when not requested."""
+    if not (
+        args.supervise
+        or args.max_retries is not None
+        or args.phase_timeout is not None
+        or args.no_degrade
+    ):
+        return None
+    from .core.supervise import SupervisionPolicy
+
+    return SupervisionPolicy(
+        max_retries=2 if args.max_retries is None else args.max_retries,
+        phase_timeout=args.phase_timeout,
+        degrade=not args.no_degrade,
     )
 
 
@@ -372,6 +478,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand: skip at least the main header (JPWL assumption)",
     )
     inj.set_defaults(fn=_cmd_faults_inject)
+
+    fex = flt_sub.add_parser(
+        "exec",
+        help="encode under injected compute faults; verify byte-identity",
+    )
+    fex.add_argument("input")
+    fex.add_argument(
+        "-o", "--output", default=None,
+        help="also write the supervised codestream here",
+    )
+    fex.add_argument(
+        "--fault", action="append", required=True, metavar="SPEC",
+        help="compute-fault spec kind[:op[:call[:unit[:arg[:persistent]]]]], "
+        "e.g. kill:map:0:0 or exc:sweep:1 or hang:map:0:0:0.2 "
+        "(repeatable)",
+    )
+    fex.add_argument("--lossless", action="store_true")
+    fex.add_argument("--levels", type=int, default=5)
+    fex.add_argument("--cb-size", type=int, default=64)
+    fex.add_argument("--bpp", type=float, nargs="*", default=None)
+    fex.add_argument("--tile-size", type=int, default=0)
+    _add_backend_args(fex)
+    fex.set_defaults(fn=_cmd_faults_exec)
 
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--quick", action="store_true")

@@ -54,6 +54,8 @@ def decode_image(
     resilient: bool = False,
     tracer=None,
     backend=None,
+    supervise=None,
+    metrics=None,
 ) -> Union[np.ndarray, Tuple[np.ndarray, DecodeReport]]:
     """Decode a codestream produced by :func:`repro.codec.encode_image`.
 
@@ -85,6 +87,15 @@ def decode_image(
         explicit backend the inverse DWT sweeps run on it too.  The
         decoded image is bit-identical for every backend and worker
         count.
+    supervise:
+        ``True`` or a :class:`~repro.core.supervise.SupervisionPolicy`:
+        run the backend's parallel stages fault-tolerantly (retries,
+        pool rebuilds, the ``processes -> threads -> serial``
+        degradation ladder).  In resilient mode the resulting
+        :class:`~repro.core.supervise.SupervisionReport` is attached to
+        the returned ``DecodeReport.supervision``.  ``metrics`` (a
+        :class:`~repro.obs.MetricsRegistry`) receives live
+        ``repro_supervisor_*`` counters.
 
     Returns
     -------
@@ -92,7 +103,13 @@ def decode_image(
         The reconstructed image, dtype ``uint8``/``uint16`` by bit depth.
     """
     report: Optional[DecodeReport] = None
-    owned_bk = None
+    from ..core.supervise import resolve_policy
+
+    policy = resolve_policy(supervise)
+    owned_bk = sup = None
+    owned = False
+    if policy is not None and backend is None:
+        backend = "threads"  # supervision needs a backend to supervise
     if backend is not None and not hasattr(backend, "map_shares"):
         # Resolve a backend *name* once up front so every tile-part (and
         # the inverse DWT) shares one worker pool instead of spawning a
@@ -102,10 +119,21 @@ def decode_image(
         backend, owned = resolve_backend(backend, n_workers)
         if owned:
             owned_bk = backend
+    if policy is not None and backend is not None:
+        from ..core.supervise import supervised
+
+        backend = sup = supervised(
+            backend, policy, metrics=metrics, owns_inner=owned
+        )
+        if owned:
+            owned_bk = sup  # closing the wrapper closes the inner pool
     try:
-        return _decode_image_impl(
+        out = _decode_image_impl(
             data, max_layer, n_workers, resilient, tracer, backend, report
         )
+        if sup is not None and isinstance(out, tuple):
+            out[1].supervision = sup.report
+        return out
     finally:
         if owned_bk is not None:
             owned_bk.close()

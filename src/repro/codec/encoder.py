@@ -63,6 +63,8 @@ class EncodeResult:
     params: CodecParams
     image_shape: Tuple[int, int]
     layer_passes: List[List[int]]  # alloc[layer][block index]
+    #: What the supervisor had to do (None when supervision was off).
+    supervision: Optional["SupervisionReport"] = None
 
     @property
     def n_bytes(self) -> int:
@@ -103,6 +105,8 @@ def encode_image(
     tracer=None,
     n_workers: int = 1,
     backend=None,
+    supervise=None,
+    metrics=None,
 ) -> EncodeResult:
     """Encode a grayscale ``(H, W)`` or color ``(H, W, 3)`` image.
 
@@ -130,17 +134,40 @@ def encode_image(
     byte-identical for every backend and worker count: the static
     partition only re-orders independent work (enforced by the
     differential test harness).
+
+    ``supervise`` (``True`` or a
+    :class:`~repro.core.supervise.SupervisionPolicy`; default
+    ``params.supervision``) runs the backend under supervision: worker
+    death, hangs past the phase deadline, and transient kernel faults
+    are retried -- re-running only the unfinished work -- and exhausted
+    retries degrade ``processes -> threads -> serial`` instead of
+    failing.  The :class:`~repro.core.supervise.SupervisionReport`
+    lands on ``EncodeResult.supervision``; ``metrics`` (a
+    :class:`~repro.obs.MetricsRegistry`) additionally receives
+    ``repro_supervisor_*`` counters as events happen.
     """
     report = EncoderReport(tracer=tracer)
-    bk = owned_bk = None
-    if backend is not None or n_workers > 1:
+    from ..core.supervise import resolve_policy
+
+    policy = resolve_policy(supervise, params.supervision)
+    bk = owned_bk = sup = None
+    if backend is not None or n_workers > 1 or policy is not None:
         from ..core.backend import resolve_backend
+        from ..core.supervise import SupervisedBackend
 
         bk, owned = resolve_backend(backend, n_workers)
         if owned:
             owned_bk = bk
+        if policy is not None:
+            bk = sup = SupervisedBackend(
+                bk, policy, metrics=metrics, owns_inner=owned
+            )
+            owned_bk = sup
     try:
-        return _encode_image_impl(image, params, roi_mask, tracer, report, bk)
+        result = _encode_image_impl(image, params, roi_mask, tracer, report, bk)
+        if sup is not None:
+            result.supervision = sup.report
+        return result
     finally:
         if owned_bk is not None:
             owned_bk.close()

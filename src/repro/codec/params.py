@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
+from ..core.supervise import SupervisionPolicy
+
 __all__ = ["CodecParams"]
 
 
@@ -41,6 +43,15 @@ class CodecParams:
         decoded with ``decode_image(..., resilient=True)`` dropping only
         the damaged packets.  Costs a few bytes per packet (< 3% on the
         standard 512x512 image); off by default.
+    supervision:
+        Run the parallel stages under a
+        :class:`~repro.core.supervise.SupervisionPolicy`: worker death
+        and phase-deadline expiry trigger pool rebuilds and bounded
+        retries of only the unfinished work, and exhausted retries walk
+        the ``processes -> threads -> serial`` degradation ladder
+        instead of failing the image.  ``None`` (the default) keeps the
+        historical fail-fast behaviour; explicit ``supervise=``
+        arguments to ``encode_image``/``decode_image`` override this.
     """
 
     levels: int = 5
@@ -51,6 +62,7 @@ class CodecParams:
     tile_size: int = 0
     bit_depth: int = 8
     resilience: bool = False
+    supervision: Optional[SupervisionPolicy] = None
 
     def __post_init__(self) -> None:
         if self.levels < 0:
@@ -63,6 +75,10 @@ class CodecParams:
             raise ValueError("tile_size must be non-negative")
         if self.bit_depth < 1 or self.bit_depth > 16:
             raise ValueError("bit_depth must be in 1..16")
+        if self.supervision is not None and not isinstance(
+            self.supervision, SupervisionPolicy
+        ):
+            raise TypeError("supervision must be a SupervisionPolicy or None")
         if self.target_bpp is not None:
             rates = tuple(self.target_bpp)
             if not rates or any(r <= 0 for r in rates):

@@ -20,7 +20,7 @@ The whole report is plain data so services can log/aggregate it;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 __all__ = ["TileStats", "DecodeReport"]
 
@@ -52,6 +52,11 @@ class DecodeReport:
     tiles: List[TileStats] = field(default_factory=list)
     container_bytes_skipped: int = 0
     notes: List[str] = field(default_factory=list)
+    #: Compute-fault handling (a repro.core.supervise.SupervisionReport)
+    #: when the decode ran under supervision; None otherwise.  String
+    #: annotation on purpose: this module stays importable without the
+    #: backend stack.
+    supervision: Optional["SupervisionReport"] = None  # noqa: F821
 
     # -- aggregates ---------------------------------------------------------
 
@@ -119,4 +124,6 @@ class DecodeReport:
             lines.append(f"  tile-parts zero-filled: {concealed}")
         for note in self.notes:
             lines.append(f"  note: {note}")
+        if self.supervision is not None:
+            lines.extend("  " + l for l in self.supervision.summary().splitlines())
         return "\n".join(lines)

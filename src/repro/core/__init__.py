@@ -27,8 +27,18 @@ figure.
 from .backend import (
     BACKEND_NAMES,
     ExecutionBackend,
+    WorkerDeath,
     get_backend,
     resolve_backend,
+)
+from .supervise import (
+    DEGRADATION_LADDER,
+    SupervisedBackend,
+    SupervisionError,
+    SupervisionEvent,
+    SupervisionPolicy,
+    SupervisionReport,
+    supervised,
 )
 from .amdahl import amdahl_speedup, serial_fraction, theoretical_speedup_from_breakdown
 from .speedup import SpeedupSeries, speedup_curve, efficiency
@@ -49,9 +59,17 @@ from .study import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEGRADATION_LADDER",
     "ExecutionBackend",
+    "SupervisedBackend",
+    "SupervisionError",
+    "SupervisionEvent",
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "WorkerDeath",
     "get_backend",
     "resolve_backend",
+    "supervised",
     "amdahl_speedup",
     "serial_fraction",
     "theoretical_speedup_from_breakdown",

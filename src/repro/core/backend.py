@@ -40,10 +40,18 @@ Two primitive operations cover every call site:
 
 from __future__ import annotations
 
+import importlib
 import pickle
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -55,13 +63,31 @@ from ..wavelet.lifting import dwt1d, idwt1d
 
 __all__ = [
     "BACKEND_NAMES",
+    "Attempt",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadsBackend",
     "ProcessesBackend",
+    "WorkerDeath",
     "get_backend",
     "resolve_backend",
+    "resolve_item_kernel",
+    "resolve_sweep_kernel",
 ]
+
+
+class WorkerDeath(BaseException):
+    """A worker vanished mid-task on an in-thread backend.
+
+    The chaos harness (:class:`repro.faults.FaultyBackend`) raises this
+    for an injected ``kill`` fault on the ``serial``/``threads`` rungs,
+    where a real ``os._exit`` would take the whole interpreter down.  It
+    subclasses :class:`BaseException` on purpose: the per-item fault
+    capture in :func:`_run_item` must *not* treat a dead worker like an
+    ordinary kernel exception -- worker death aborts the attempt (like a
+    ``BrokenProcessPool`` does for the process backend) instead of being
+    concealed per item.
+    """
 
 #: Registered backend names, in reference -> fastest-path order.
 BACKEND_NAMES = ("serial", "threads", "processes")
@@ -128,6 +154,56 @@ ITEM_KERNELS = {
 }
 
 
+def _resolve_named(table: Dict[str, Any], name: str):
+    """A registered kernel, or a ``module:attr`` dotted reference.
+
+    Dotted names let other modules (the chaos wrappers in
+    :mod:`repro.faults`) contribute kernels without registering them
+    here: the worker process resolves the module by import, which works
+    under both the fork and spawn start methods.
+    """
+    fn = table.get(name)
+    if fn is not None:
+        return fn
+    if ":" in name:
+        mod, attr = name.split(":", 1)
+        return getattr(importlib.import_module(mod), attr)
+    raise KeyError(f"unknown kernel {name!r}")
+
+
+def resolve_sweep_kernel(name: str):
+    """Resolve a barrier-sweep kernel name (registered or ``module:attr``)."""
+    return _resolve_named(SWEEP_KERNELS, name)
+
+
+def resolve_item_kernel(name: str):
+    """Resolve an independent-item kernel name (registered or ``module:attr``)."""
+    return _resolve_named(ITEM_KERNELS, name)
+
+
+@dataclass
+class Attempt:
+    """Outcome of one best-effort (supervised) sweep or map attempt.
+
+    Unit keys are ``(a, b)`` range tuples for sweeps and global item
+    indices for ``map_shares``.  ``failed`` holds *kernel-level*
+    exceptions (the unit ran and raised); units in neither ``done`` nor
+    ``failed`` never finished -- the pool broke or the deadline expired
+    underneath them -- and are safe to re-run because every unit writes
+    a disjoint output slab / result slot.
+    """
+
+    done: List[Any] = field(default_factory=list)
+    results: Dict[Any, Any] = field(default_factory=dict)
+    failed: Dict[Any, BaseException] = field(default_factory=dict)
+    broken: Optional[str] = None  # pool-fatal reason, None = pool healthy
+    timed_out: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return self.broken is None and not self.timed_out and not self.failed
+
+
 # ---------------------------------------------------------------------------
 # Backend interface and the two in-process implementations.
 # ---------------------------------------------------------------------------
@@ -153,6 +229,13 @@ class ExecutionBackend(ABC):
 
     def close(self) -> None:
         """Release pooled workers (no-op for in-thread backends)."""
+
+    def rebuild(self) -> None:
+        """Discard pooled workers after a failure; the next call gets a
+        fresh pool.  Unlike :meth:`close`, must never block on wedged
+        workers (process backends kill them, thread backends abandon
+        them)."""
+        self.close()
 
     def __enter__(self) -> "ExecutionBackend":
         return self
@@ -201,6 +284,85 @@ class ExecutionBackend(ABC):
         cannot depend on the backend or worker count).
         """
 
+    # -- best-effort attempts (the supervision substrate) -------------------
+    #
+    # The base implementations run in the calling thread: per-unit
+    # exceptions are captured, a :class:`WorkerDeath` aborts the attempt,
+    # and the deadline is checked *between* units (an in-thread kernel
+    # cannot be preempted).  The pooled backends override these with
+    # future-driven versions that enforce the deadline for real.
+
+    def sweep_attempt(
+        self,
+        kernel: str,
+        srcs: Sequence[np.ndarray],
+        outs: Sequence[np.ndarray],
+        ranges: Sequence[Tuple[int, int]],
+        extra: Dict[str, Any],
+        deadline: Optional[float] = None,
+        ph=None,
+        label: str = "cols",
+        size_attr: str = "columns",
+    ) -> Attempt:
+        """One best-effort pass over ``ranges``; never raises on worker
+        failure -- the outcome is reported in the returned
+        :class:`Attempt` so a supervisor can re-run what is missing."""
+        fn = resolve_sweep_kernel(kernel)
+        att = Attempt()
+        t0 = time.perf_counter()
+        for a, b in ranges:
+            if a == b:
+                att.done.append((a, b))
+                continue
+            if deadline is not None and time.perf_counter() - t0 > deadline:
+                att.timed_out = True
+                break
+            try:
+                if ph is not None:
+                    with ph.task(f"{label}[{a}:{b}]", **{size_attr: b - a}):
+                        fn(srcs, outs, a, b, extra)
+                else:
+                    fn(srcs, outs, a, b, extra)
+                att.done.append((a, b))
+            except WorkerDeath as exc:
+                att.broken = f"worker death: {exc}"
+                break
+            except Exception as exc:
+                att.failed[(a, b)] = exc
+        return att
+
+    def map_shares_attempt(
+        self,
+        kernel: str,
+        shares: Sequence[Sequence[Tuple[int, Any]]],
+        deadline: Optional[float] = None,
+        ph=None,
+        label: str = "cb",
+    ) -> Attempt:
+        """One best-effort pass over pre-dealt shares (see
+        :meth:`sweep_attempt` for the contract)."""
+        fn = resolve_item_kernel(kernel)
+        att = Attempt()
+        t0 = time.perf_counter()
+        for w, share in enumerate(shares):
+            for i, payload in share:
+                if deadline is not None and time.perf_counter() - t0 > deadline:
+                    att.timed_out = True
+                    return att
+                try:
+                    if ph is not None:
+                        with ph.task(f"{label}-{i}", worker=w, block=i):
+                            att.results[i] = fn(payload)
+                    else:
+                        att.results[i] = fn(payload)
+                    att.done.append(i)
+                except WorkerDeath as exc:
+                    att.broken = f"worker death: {exc}"
+                    return att
+                except Exception as exc:
+                    att.failed[i] = exc
+        return att
+
 
 def _run_item(fn, i, payload, worker, ph, label, results, errors) -> None:
     """Execute one independent item, capturing its exception."""
@@ -225,7 +387,7 @@ class SerialBackend(ExecutionBackend):
 
     def sweep(self, kernel, srcs, outs, ranges, extra, ph=None,
               label="cols", size_attr="columns") -> None:
-        fn = SWEEP_KERNELS[kernel]
+        fn = resolve_sweep_kernel(kernel)
         for a, b in ranges:
             if a == b:
                 continue
@@ -236,7 +398,7 @@ class SerialBackend(ExecutionBackend):
                 fn(srcs, outs, a, b, extra)
 
     def map_shares(self, kernel, shares, n_items, ph=None, label="cb"):
-        fn = ITEM_KERNELS[kernel]
+        fn = resolve_item_kernel(kernel)
         results: List[Optional[Any]] = [None] * n_items
         errors: List[Optional[BaseException]] = [None] * n_items
         for w, share in enumerate(shares):
@@ -264,10 +426,17 @@ class ThreadsBackend(ExecutionBackend):
             self._executor.shutdown()
             self._executor = None
 
+    def rebuild(self) -> None:
+        # A wedged worker thread cannot be killed; abandon the pool
+        # (cancel queued work, don't join) and start fresh next call.
+        ex, self._executor = self._executor, None
+        if ex is not None:
+            ex.shutdown(wait=False, cancel_futures=True)
+
     def sweep(self, kernel, srcs, outs, ranges, extra, ph=None,
               label="cols", size_attr="columns") -> None:
         live = [(a, b) for a, b in ranges if a != b]
-        fn = SWEEP_KERNELS[kernel]
+        fn = resolve_sweep_kernel(kernel)
 
         def work(rng: Tuple[int, int]) -> None:
             a, b = rng
@@ -285,7 +454,7 @@ class ThreadsBackend(ExecutionBackend):
             list(self._pool().map(work, live))
 
     def map_shares(self, kernel, shares, n_items, ph=None, label="cb"):
-        fn = ITEM_KERNELS[kernel]
+        fn = resolve_item_kernel(kernel)
         results: List[Optional[Any]] = [None] * n_items
         errors: List[Optional[BaseException]] = [None] * n_items
 
@@ -300,6 +469,117 @@ class ThreadsBackend(ExecutionBackend):
         else:
             list(self._pool().map(work, list(enumerate(shares))))
         return results, errors
+
+    # -- best-effort attempts ------------------------------------------------
+
+    def _collect_attempt(self, att, futs, deadline) -> None:
+        """Classify per-unit futures into an :class:`Attempt`.
+
+        ``futs`` maps future -> (unit_key, on_done(result)).  Futures
+        still pending at the deadline leave their units unfinished; the
+        caller (the supervisor) rebuilds the pool, which abandons the
+        wedged threads.
+        """
+        done, not_done = wait(list(futs), timeout=deadline)
+        for fut in done:
+            key, on_done = futs[fut]
+            try:
+                value = fut.result()
+            except WorkerDeath as exc:
+                att.broken = f"worker death: {exc}"
+            except BrokenExecutor as exc:
+                att.broken = f"broken pool: {exc}"
+            except Exception as exc:
+                att.failed[key] = exc
+            else:
+                on_done(value)
+                att.done.append(key)
+        if not_done:
+            att.timed_out = True
+
+    def sweep_attempt(self, kernel, srcs, outs, ranges, extra, deadline=None,
+                      ph=None, label="cols", size_attr="columns") -> Attempt:
+        live = [(a, b) for a, b in ranges if a != b]
+        if self.n_workers == 1 or len(live) <= 1:
+            return ExecutionBackend.sweep_attempt(
+                self, kernel, srcs, outs, ranges, extra,
+                deadline=deadline, ph=ph, label=label, size_attr=size_attr,
+            )
+        fn = resolve_sweep_kernel(kernel)
+        att = Attempt()
+        att.done.extend((a, b) for a, b in ranges if a == b)
+
+        def work(rng: Tuple[int, int]) -> None:
+            a, b = rng
+            if ph is not None:
+                with ph.task(f"{label}[{a}:{b}]", **{size_attr: b - a}):
+                    fn(srcs, outs, a, b, extra)
+            else:
+                fn(srcs, outs, a, b, extra)
+
+        try:
+            futs = {self._pool().submit(work, rng): (rng, lambda _v: None)
+                    for rng in live}
+        except BrokenExecutor as exc:  # pragma: no cover - defensive
+            att.broken = f"broken pool: {exc}"
+            return att
+        self._collect_attempt(att, futs, deadline)
+        return att
+
+    def map_shares_attempt(self, kernel, shares, deadline=None,
+                           ph=None, label="cb") -> Attempt:
+        live = [(w, list(share)) for w, share in enumerate(shares) if share]
+        if self.n_workers == 1 or len(live) <= 1:
+            return ExecutionBackend.map_shares_attempt(
+                self, kernel, shares, deadline=deadline, ph=ph, label=label
+            )
+        fn = resolve_item_kernel(kernel)
+        att = Attempt()
+
+        def work(indexed_share):
+            # One share per future: per-item kernel exceptions are
+            # captured (fault isolation), a WorkerDeath aborts the share.
+            w, share = indexed_share
+            out = []
+            for i, payload in share:
+                try:
+                    if ph is not None:
+                        with ph.task(f"{label}-{i}", worker=w, block=i):
+                            out.append((i, fn(payload), None))
+                    else:
+                        out.append((i, fn(payload), None))
+                except WorkerDeath:
+                    raise
+                except Exception as exc:
+                    out.append((i, None, exc))
+            return out
+
+        def merge(items) -> None:
+            for i, result, error in items:
+                if error is not None:
+                    att.failed[i] = error
+                else:
+                    att.results[i] = result
+
+        try:
+            futs = {self._pool().submit(work, pair): (pair[0], merge)
+                    for pair in live}
+        except BrokenExecutor as exc:  # pragma: no cover - defensive
+            att.broken = f"broken pool: {exc}"
+            return att
+        done, not_done = wait(list(futs), timeout=deadline)
+        for fut in done:
+            try:
+                merge(fut.result())
+            except WorkerDeath as exc:
+                att.broken = f"worker death: {exc}"
+            except BrokenExecutor as exc:  # pragma: no cover - defensive
+                att.broken = f"broken pool: {exc}"
+        if not_done:
+            att.timed_out = True
+        att.done.extend(att.results)
+        # Items whose error was captured still *ran*; done tracks successes.
+        return att
 
 
 # ---------------------------------------------------------------------------
@@ -336,7 +616,7 @@ def _proc_sweep(kernel, src_descs, out_descs, a, b, extra) -> float:
     try:
         srcs = [_attach_shared(d, segments) for d in src_descs]
         outs = [_attach_shared(d, segments) for d in out_descs]
-        SWEEP_KERNELS[kernel](srcs, outs, a, b, extra)
+        resolve_sweep_kernel(kernel)(srcs, outs, a, b, extra)
     finally:
         for seg in segments:
             seg.close()
@@ -354,7 +634,7 @@ def _portable_exception(exc: BaseException) -> BaseException:
 
 def _proc_share(kernel, share):
     """Worker-side share execution: [(i, result, error, seconds), ...]."""
-    fn = ITEM_KERNELS[kernel]
+    fn = resolve_item_kernel(kernel)
     out = []
     for i, payload in share:
         t0 = time.perf_counter()
@@ -400,6 +680,19 @@ class ProcessesBackend(ExecutionBackend):
             self._executor.shutdown()
             self._executor = None
 
+    def rebuild(self) -> None:
+        # ``shutdown`` joins workers, which never returns if one is
+        # wedged; kill the processes first, then reap without waiting.
+        ex, self._executor = self._executor, None
+        if ex is None:
+            return
+        for proc in list(getattr(ex, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        ex.shutdown(wait=False, cancel_futures=True)
+
     # -- sweeps -------------------------------------------------------------
 
     def _export(self, arr: np.ndarray, segments: List[Any]):
@@ -437,18 +730,24 @@ class ProcessesBackend(ExecutionBackend):
                 desc, view = self._export(arr, segments)
                 out_descs.append(desc)
                 out_views.append(view)
-            pool = self._pool()
-            futures = [
-                pool.submit(_proc_sweep, kernel, src_descs, out_descs, a, b, extra)
-                for a, b in live
-            ]
-            for w, ((a, b), fut) in enumerate(zip(live, futures)):
-                busy = fut.result()
-                if ph is not None:
-                    ph.record(
-                        f"{label}[{a}:{b}]", worker=w, seconds=busy,
-                        **{size_attr: b - a},
-                    )
+            try:
+                pool = self._pool()
+                futures = [
+                    pool.submit(_proc_sweep, kernel, src_descs, out_descs, a, b, extra)
+                    for a, b in live
+                ]
+                for w, ((a, b), fut) in enumerate(zip(live, futures)):
+                    busy = fut.result()
+                    if ph is not None:
+                        ph.record(
+                            f"{label}[{a}:{b}]", worker=w, seconds=busy,
+                            **{size_attr: b - a},
+                        )
+            except BrokenExecutor:
+                # Discard the dead pool so the next call on this (reused)
+                # instance builds a fresh one instead of failing forever.
+                self.rebuild()
+                raise
             for arr, view in zip(outs, out_views):
                 arr[...] = view
         finally:
@@ -467,18 +766,139 @@ class ProcessesBackend(ExecutionBackend):
         live = [(w, list(share)) for w, share in enumerate(shares) if share]
         if self.n_workers == 1 or len(live) <= 1:
             return SerialBackend(1).map_shares(kernel, shares, n_items, ph, label)
-        pool = self._pool()
-        futures = [pool.submit(_proc_share, kernel, share) for _, share in live]
-        for (w, _), fut in zip(live, futures):
-            for i, result, error, busy in fut.result():
-                results[i] = result
-                errors[i] = error
+        try:
+            pool = self._pool()
+            futures = [pool.submit(_proc_share, kernel, share) for _, share in live]
+            for (w, _), fut in zip(live, futures):
+                for i, result, error, busy in fut.result():
+                    results[i] = result
+                    errors[i] = error
+                    if ph is not None:
+                        attrs = {"block": i}
+                        if error is not None:
+                            attrs["concealed"] = True
+                        ph.record(f"{label}-{i}", worker=w, seconds=busy, **attrs)
+        except BrokenExecutor:
+            self.rebuild()
+            raise
+        return results, errors
+
+    # -- best-effort attempts ------------------------------------------------
+
+    def sweep_attempt(self, kernel, srcs, outs, ranges, extra, deadline=None,
+                      ph=None, label="cols", size_attr="columns") -> Attempt:
+        live = [(a, b) for a, b in ranges if a != b]
+        degenerate = any(arr.nbytes == 0 for arr in list(srcs) + list(outs))
+        if self.n_workers == 1 or len(live) <= 1 or degenerate:
+            return ExecutionBackend.sweep_attempt(
+                self, kernel, srcs, outs, ranges, extra,
+                deadline=deadline, ph=ph, label=label, size_attr=size_attr,
+            )
+        att = Attempt()
+        att.done.extend((a, b) for a, b in ranges if a == b)
+        segments: List[Any] = []
+        try:
+            src_descs = []
+            for arr in srcs:
+                desc, view = self._export(np.ascontiguousarray(arr), segments)
+                view[...] = arr
+                src_descs.append(desc)
+            out_descs = []
+            out_views = []
+            for arr in outs:
+                desc, view = self._export(arr, segments)
+                # Seed the shared output with the current array so the
+                # unconditional copy-back below is lossless for slabs
+                # this attempt never reached: slabs completed by earlier
+                # attempts survive, unfinished slabs stay re-runnable.
+                view[...] = arr
+                out_descs.append(desc)
+                out_views.append(view)
+            try:
+                pool = self._pool()
+                futs = {
+                    pool.submit(_proc_sweep, kernel, src_descs, out_descs,
+                                a, b, extra): (w, (a, b))
+                    for w, (a, b) in enumerate(live)
+                }
+            except BrokenExecutor as exc:
+                att.broken = f"broken pool: {exc}"
+                self.rebuild()
+                return att
+            done, not_done = wait(list(futs), timeout=deadline)
+            for fut in done:
+                w, rng = futs[fut]
+                a, b = rng
+                try:
+                    busy = fut.result()
+                except BrokenExecutor as exc:
+                    att.broken = f"broken pool: {exc}"
+                except Exception as exc:
+                    att.failed[rng] = exc
+                else:
+                    att.done.append(rng)
+                    if ph is not None:
+                        ph.record(
+                            f"{label}[{a}:{b}]", worker=w, seconds=busy,
+                            **{size_attr: b - a},
+                        )
+            if not_done:
+                att.timed_out = True
+            for arr, view in zip(outs, out_views):
+                arr[...] = view
+        finally:
+            if att.broken is not None or att.timed_out:
+                # Dead or wedged workers may still hold attachments; a
+                # rebuild kills them so the segments can be reclaimed.
+                self.rebuild()
+            for seg in segments:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
+        return att
+
+    def map_shares_attempt(self, kernel, shares, deadline=None,
+                           ph=None, label="cb") -> Attempt:
+        live = [(w, list(share)) for w, share in enumerate(shares) if share]
+        if self.n_workers == 1 or len(live) <= 1:
+            return ExecutionBackend.map_shares_attempt(
+                self, kernel, shares, deadline=deadline, ph=ph, label=label
+            )
+        att = Attempt()
+        try:
+            pool = self._pool()
+            futs = {pool.submit(_proc_share, kernel, share): w
+                    for w, share in live}
+        except BrokenExecutor as exc:
+            att.broken = f"broken pool: {exc}"
+            self.rebuild()
+            return att
+        done, not_done = wait(list(futs), timeout=deadline)
+        for fut in done:
+            w = futs[fut]
+            try:
+                items = fut.result()
+            except BrokenExecutor as exc:
+                att.broken = f"broken pool: {exc}"
+                continue
+            for i, result, error, busy in items:
+                if error is not None:
+                    att.failed[i] = error
+                else:
+                    att.results[i] = result
+                    att.done.append(i)
                 if ph is not None:
                     attrs = {"block": i}
                     if error is not None:
                         attrs["concealed"] = True
                     ph.record(f"{label}-{i}", worker=w, seconds=busy, **attrs)
-        return results, errors
+        if not_done:
+            att.timed_out = True
+        if att.broken is not None or att.timed_out:
+            self.rebuild()
+        return att
 
 
 _BACKENDS = {

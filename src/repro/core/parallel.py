@@ -221,8 +221,12 @@ def parallel_encode_blocks(
     if n_workers < 1:
         raise ValueError("need at least one worker")
     bk, owned = resolve_backend(backend, n_workers)
-    indexed = list(enumerate(blocks))
     try:
+        # Inside the try: anything raising between pool creation and the
+        # finally (a bad ``blocks`` iterable included) must still close
+        # an owned pool.
+        indexed = list(enumerate(blocks))
+
         def run(ph):
             shares = _shares(indexed, scheduler, bk.n_workers)
             return bk.map_shares("encode", shares, len(indexed), ph=ph, label="cb")
@@ -289,8 +293,9 @@ def parallel_decode_blocks(
     if on_error not in ("raise", "conceal"):
         raise ValueError(f"on_error must be 'raise' or 'conceal', got {on_error!r}")
     bk, owned = resolve_backend(backend, n_workers)
-    indexed = list(enumerate(blocks))
     try:
+        indexed = list(enumerate(blocks))
+
         def run(ph):
             shares = _shares(indexed, scheduler, bk.n_workers)
             return bk.map_shares("decode", shares, len(indexed), ph=ph, label="cb")

@@ -1,0 +1,405 @@
+"""Supervised execution: retries, pool rebuilds, graceful degradation.
+
+The paper's parallel decomposition is *idempotent by construction*:
+every barrier-sweep slab writes a disjoint ``[a:b)`` column range and
+every tier-1 code-block lands in its own result slot.  That makes the
+recovery story mechanical -- when a worker dies (``BrokenProcessPool``),
+hangs past a phase deadline, or a kernel raises, re-running *only the
+unfinished units* produces exactly the bytes an undisturbed run would
+have produced.  :class:`SupervisedBackend` wraps any
+:class:`~repro.core.backend.ExecutionBackend` with that loop:
+
+1. run one best-effort attempt (``sweep_attempt`` / ``map_shares_attempt``)
+   over the still-pending units;
+2. on a pool-fatal outcome (worker death, broken pool, deadline expiry)
+   rebuild the pool -- killing wedged workers -- and retry with
+   deterministic exponential backoff, up to ``max_retries`` per rung;
+3. when retries exhaust, step down the degradation ladder
+   ``processes -> threads -> serial`` (sticky for the rest of the
+   wrapper's life) instead of failing the image;
+4. at the bottom of the ladder, surface persistent *kernel* errors the
+   same way the unsupervised backends do (map items go into the
+   ``errors`` list for downstream concealment, sweep failures raise),
+   and raise :class:`SupervisionError` only for units that could never
+   be run at all.
+
+Every retry, rebuild, timeout, worker death and degradation is recorded
+on a :class:`SupervisionReport`, mirrored into ``repro.obs`` counters
+when a :class:`~repro.obs.metrics.MetricsRegistry` is attached, and
+stamped onto the surrounding tracer phase span via ``PhaseRecorder``
+attributes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .backend import Attempt, ExecutionBackend, get_backend
+
+__all__ = [
+    "DEGRADATION_LADDER",
+    "SupervisedBackend",
+    "SupervisionError",
+    "SupervisionEvent",
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "resolve_policy",
+    "supervised",
+]
+
+#: Rung order: fastest first, most reliable last.
+DEGRADATION_LADDER = ("processes", "threads", "serial")
+
+
+class SupervisionError(RuntimeError):
+    """Supervision exhausted every retry (and rung) with units unrun."""
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs for the supervision loop.
+
+    ``max_retries`` is the per-rung retry budget *after* the initial
+    attempt; ``phase_timeout`` bounds one attempt (seconds, ``None`` =
+    no deadline); ``degrade=False`` turns the ladder off so exhaustion
+    raises; ``backoff_base`` seeds the deterministic exponential backoff
+    ``backoff_base * 2**retry_index`` slept before each retry.
+    """
+
+    max_retries: int = 2
+    phase_timeout: Optional[float] = None
+    degrade: bool = True
+    backoff_base: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.phase_timeout is not None and self.phase_timeout <= 0:
+            raise ValueError("phase_timeout must be positive (or None)")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+
+    def backoff(self, retry_index: int) -> float:
+        """Deterministic sleep before retry ``retry_index`` (0-based)."""
+        return self.backoff_base * (2 ** retry_index)
+
+
+@dataclass(frozen=True)
+class SupervisionEvent:
+    """One thing the supervisor did or observed."""
+
+    kind: str  # retry | rebuild | degrade | timeout | worker-death | kernel-error | give-up
+    op: str  # sweep | map
+    backend: str  # ladder name of the rung at the time
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f": {self.detail}" if self.detail else ""
+        return f"[{self.backend}/{self.op}] {self.kind}{tail}"
+
+
+@dataclass
+class SupervisionReport:
+    """What supervision had to do to finish the job."""
+
+    events: List[SupervisionEvent] = field(default_factory=list)
+    retries: int = 0
+    pool_rebuilds: int = 0
+    degradations: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    kernel_errors: int = 0
+    final_backend: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """True when no fault handling was needed at all."""
+        return not self.events
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradations > 0
+
+    def add(self, event: SupervisionEvent) -> None:
+        self.events.append(event)
+
+    def summary(self) -> str:
+        head = (
+            f"supervision: {self.retries} retries, "
+            f"{self.pool_rebuilds} pool rebuilds, "
+            f"{self.timeouts} timeouts, {self.worker_deaths} worker deaths, "
+            f"{self.kernel_errors} kernel errors, "
+            f"{self.degradations} degradations"
+            f" (final backend: {self.final_backend or '?'})"
+        )
+        lines = [head] + [f"  - {e}" for e in self.events]
+        return "\n".join(lines)
+
+
+def _ladder_name(backend: ExecutionBackend) -> str:
+    """Where a backend sits on the ladder (chaos wrappers delegate)."""
+    return getattr(backend, "ladder_name", backend.name)
+
+
+class SupervisedBackend(ExecutionBackend):
+    """Fault-tolerant wrapper around any execution backend.
+
+    Drop-in for the wrapped backend: ``sweep`` and ``map_shares`` keep
+    their exact contracts (including per-item error capture for
+    concealment), they just survive worker death, hangs and transient
+    kernel faults along the way.  Degradation is sticky -- once the
+    wrapper has stepped down to ``threads`` or ``serial`` it stays
+    there, because a pool that just killed workers will do it again.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        policy: Optional[SupervisionPolicy] = None,
+        report: Optional[SupervisionReport] = None,
+        metrics=None,
+        owns_inner: bool = True,
+    ) -> None:
+        super().__init__(inner.n_workers)
+        self.inner = inner
+        self.policy = policy or SupervisionPolicy()
+        self.report = report if report is not None else SupervisionReport()
+        self.metrics = metrics
+        self.owns_inner = owns_inner
+        self._rung: ExecutionBackend = inner
+        self._created: List[ExecutionBackend] = []
+        self.report.final_backend = _ladder_name(inner)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        for bk in self._created:
+            bk.close()
+        self._created.clear()
+        if self.owns_inner:
+            self.inner.close()
+
+    def rebuild(self) -> None:  # pragma: no cover - delegated, not used
+        self._rung.rebuild()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _count(self, metric: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"repro_supervisor_{metric}_total",
+                f"Supervision {metric.replace('_', ' ')}.",
+            ).inc()
+
+    def _event(self, kind: str, op: str, counter: Optional[str],
+               detail: str = "") -> None:
+        self.report.add(SupervisionEvent(kind, op, _ladder_name(self._rung), detail))
+        if counter is not None:
+            setattr(self.report, counter, getattr(self.report, counter) + 1)
+            self._count(counter)
+
+    def _next_rung(self, op: str) -> Optional[ExecutionBackend]:
+        """Create (and adopt) the next ladder rung below the current one."""
+        current = _ladder_name(self._rung)
+        try:
+            idx = DEGRADATION_LADDER.index(current)
+        except ValueError:  # pragma: no cover - unknown custom backend
+            return None
+        if idx + 1 >= len(DEGRADATION_LADDER):
+            return None
+        name = DEGRADATION_LADDER[idx + 1]
+        rung = get_backend(name, self.n_workers)
+        self._created.append(rung)
+        self._event("degrade", op, "degradations", f"{current} -> {name}")
+        return rung
+
+    def _stamp(self, ph, before: Tuple[int, ...]) -> None:
+        """Write this call's supervision deltas onto the phase span."""
+        if ph is None:
+            return
+        rep = self.report
+        after = (rep.retries, rep.pool_rebuilds, rep.degradations,
+                 rep.timeouts, rep.worker_deaths)
+        names = ("supervision.retries", "supervision.pool_rebuilds",
+                 "supervision.degradations", "supervision.timeouts",
+                 "supervision.worker_deaths")
+        for attr_name, b, a in zip(names, before, after):
+            delta = a - b
+            if delta:
+                ph.attrs[attr_name] = ph.attrs.get(attr_name, 0) + delta
+        ph.attrs["supervision.backend"] = _ladder_name(self._rung)
+
+    # -- the supervision loop ------------------------------------------------
+
+    def _drive(
+        self,
+        op: str,
+        pending: Dict[Any, None],
+        run: Callable[[ExecutionBackend, Sequence[Any], Optional[float]], Attempt],
+        collect: Optional[Dict[Any, Any]] = None,
+        ph=None,
+    ) -> Dict[Any, BaseException]:
+        """Run attempts until ``pending`` drains; returns surviving
+        kernel-level failures (empty unless the bottom rung kept
+        failing).  Raises :class:`SupervisionError` for units that
+        could never be *run* once every retry and rung is spent."""
+        policy = self.policy
+        before = (self.report.retries, self.report.pool_rebuilds,
+                  self.report.degradations, self.report.timeouts,
+                  self.report.worker_deaths)
+        failures: Dict[Any, BaseException] = {}
+        retries_left = policy.max_retries
+        retry_index = 0
+        while True:
+            att = run(self._rung, list(pending), policy.phase_timeout)
+            for key in att.done:
+                pending.pop(key, None)
+                failures.pop(key, None)
+            if collect is not None:
+                collect.update(att.results)
+            if att.failed:
+                failures.update(att.failed)
+                self._event(
+                    "kernel-error", op, "kernel_errors",
+                    f"{len(att.failed)} unit(s): {next(iter(att.failed.values()))!r}",
+                )
+            if att.broken is not None:
+                kind = ("worker-death" if "worker death" in att.broken
+                        else "worker-death")
+                self._event(kind, op, "worker_deaths", att.broken)
+            if att.timed_out:
+                self._event("timeout", op, "timeouts",
+                            f"deadline {policy.phase_timeout}s expired")
+            if not pending:
+                break
+            if att.broken is not None or att.timed_out:
+                self._rung.rebuild()
+                self._event("rebuild", op, "pool_rebuilds")
+            if retries_left > 0:
+                retries_left -= 1
+                self._event("retry", op, "retries",
+                            f"{len(pending)} unit(s) pending")
+                delay = policy.backoff(retry_index)
+                retry_index += 1
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            # Retry budget spent on this rung: degrade or give up.
+            rung = self._next_rung(op) if policy.degrade else None
+            if rung is not None:
+                self._rung = rung
+                retries_left = policy.max_retries
+                retry_index = 0
+                continue
+            unrun = [k for k in pending if k not in failures]
+            if unrun:
+                self._event("give-up", op, None,
+                            f"{len(unrun)} unit(s) never ran")
+                self.report.final_backend = _ladder_name(self._rung)
+                self._stamp(ph, before)
+                raise SupervisionError(
+                    f"{op}: {len(unrun)} unit(s) unrun after "
+                    f"{self.report.retries} retries on rung "
+                    f"{_ladder_name(self._rung)!r} (degrade="
+                    f"{policy.degrade})"
+                )
+            # Only persistent kernel errors remain: hand them to the
+            # caller so map/sweep surface them exactly like the
+            # unsupervised backends would.
+            for key in failures:
+                pending.pop(key, None)
+            break
+        self.report.final_backend = _ladder_name(self._rung)
+        self._stamp(ph, before)
+        return failures
+
+    # -- ExecutionBackend API ------------------------------------------------
+
+    def sweep(self, kernel, srcs, outs, ranges, extra, ph=None,
+              label="cols", size_attr="columns") -> None:
+        pending: Dict[Tuple[int, int], None] = dict.fromkeys(
+            (int(a), int(b)) for a, b in ranges
+        )
+
+        def run(bk, units, deadline):
+            return bk.sweep_attempt(
+                kernel, srcs, outs, units, extra, deadline=deadline,
+                ph=ph, label=label, size_attr=size_attr,
+            )
+
+        failures = self._drive("sweep", pending, run, ph=ph)
+        if failures:
+            # A sweep has no concealment path; match the unsupervised
+            # behaviour (first slab failure propagates).
+            raise next(iter(failures.values()))
+
+    def map_shares(self, kernel, shares, n_items, ph=None, label="cb"):
+        payloads: Dict[int, Any] = {}
+        deal: List[List[int]] = []
+        for share in shares:
+            deal.append([i for i, _ in share])
+            for i, payload in share:
+                payloads[int(i)] = payload
+        pending: Dict[int, None] = dict.fromkeys(payloads)
+
+        def run(bk, units, deadline):
+            want = set(units)
+            # Keep the original (paper-staggered) deal, filtered to the
+            # still-pending items; order within a share is preserved so
+            # execution order -- hence fault determinism -- is stable.
+            sub = [
+                [(i, payloads[i]) for i in idxs if i in want]
+                for idxs in deal
+            ]
+            return bk.map_shares_attempt(
+                kernel, sub, deadline=deadline, ph=ph, label=label
+            )
+
+        results_map: Dict[int, Any] = {}
+        failures = self._drive("map", pending, run, collect=results_map, ph=ph)
+        results: List[Optional[Any]] = [None] * n_items
+        errors: List[Optional[BaseException]] = [None] * n_items
+        for i, value in results_map.items():
+            results[i] = value
+        for i, exc in failures.items():
+            results[i] = None
+            errors[i] = exc
+        return results, errors
+
+
+def resolve_policy(supervise, fallback: Optional[SupervisionPolicy] = None):
+    """Normalize a ``supervise=`` argument to a policy or ``None``.
+
+    ``None``/``False`` defer to ``fallback`` (typically
+    ``CodecParams.supervision``, itself possibly ``None`` = off);
+    ``True`` means "on, with the fallback or default policy"; a
+    :class:`SupervisionPolicy` wins outright.
+    """
+    if supervise is None or supervise is False:
+        return fallback
+    if supervise is True:
+        return fallback if fallback is not None else SupervisionPolicy()
+    if isinstance(supervise, SupervisionPolicy):
+        return supervise
+    raise TypeError(
+        f"supervise must be None/bool/SupervisionPolicy, not {type(supervise).__name__}"
+    )
+
+
+def supervised(
+    backend: ExecutionBackend,
+    policy: Optional[SupervisionPolicy] = None,
+    report: Optional[SupervisionReport] = None,
+    metrics=None,
+    owns_inner: bool = True,
+) -> SupervisedBackend:
+    """Wrap ``backend`` (idempotent: an already-supervised backend is
+    returned unchanged, adopting nothing)."""
+    if isinstance(backend, SupervisedBackend):
+        return backend
+    return SupervisedBackend(backend, policy=policy, report=report,
+                             metrics=metrics, owns_inner=owns_inner)

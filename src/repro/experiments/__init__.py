@@ -19,6 +19,7 @@ Every module exposes ``run(quick=False) -> ExperimentResult``:
 ``sec34_amdahl``       Theoretical (Amdahl) vs measured speedups
 ``ext_backends``       Extension: serial/threads/processes execution backends
 ``ext_decoder``        Extension: the techniques applied to decoding
+``ext_faulttolerance``  Extension: supervised recovery from compute faults
 ``ext_message_passing``  Extension: SMP vs message-passing clusters
 ``ext_observability``  Extension: tracing, worker timelines, Amdahl accounting
 ``ext_resilience``     Extension: resilient decoding under injected faults
@@ -45,6 +46,7 @@ def all_experiments():
     from . import (
         ext_backends,
         ext_decoder,
+        ext_faulttolerance,
         ext_message_passing,
         ext_observability,
         ext_resilience,
@@ -81,6 +83,7 @@ def all_experiments():
         sec34_amdahl,
         ext_backends,
         ext_decoder,
+        ext_faulttolerance,
         ext_message_passing,
         ext_observability,
         ext_resilience,

@@ -1,29 +1,57 @@
-"""Deterministic fault injection for codestream robustness testing.
+"""Deterministic fault injection: codestream damage and compute chaos.
 
-Models the transmission impairments JPEG2000's error-resilience toolset
-(and our v2 resync framing) is built for: random bit flips, byte
-erasures, bursty corruption, tail truncation, and dropped spans.  Every
-mode is a pure function of ``(data, rate, seed)`` -- the same inputs
-always produce the same damaged stream -- so tests, benchmarks and the
-``repro faults inject`` CLI all reproduce each other's results.
+Two fault families share this module:
+
+**Codestream faults** model the transmission impairments JPEG2000's
+error-resilience toolset (and our v2 resync framing) is built for:
+random bit flips, byte erasures, bursty corruption, tail truncation,
+and dropped spans.  Every mode is a pure function of ``(data, rate,
+seed)`` -- the same inputs always produce the same damaged stream -- so
+tests, benchmarks and the ``repro faults inject`` CLI all reproduce
+each other's results.
 
 ``skip_prefix`` protects a leading span (typically the main header,
 ``repro.tier2.codestream.main_header_size``) from damage, modelling
 JPWL's assumption that the main header travels error-protected; pass 0
 to expose the whole stream.
+
+**Compute faults** model the *workers* failing rather than the bytes:
+a kernel raising (``exc``), a worker wedging (``hang``), or a worker
+being killed outright (``kill`` -- a real ``os._exit`` in a process
+worker, a :class:`~repro.core.backend.WorkerDeath` on in-thread rungs).
+:class:`ComputeFault` names the exact call and unit that misbehaves, so
+a fault schedule is as reproducible as a ``FaultSpec``;
+:class:`FaultyBackend` injects the schedule into any execution backend
+by swapping in chaos kernels (``repro.faults:_chaos_sweep`` /
+``_chaos_item``) that the worker process resolves by dotted name.  The
+supervision layer (:mod:`repro.core.supervise`) is differential-tested
+against these schedules: under any of them the supervised run must emit
+the byte-identical codestream the serial backend produces.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .core.backend import (
+    ExecutionBackend,
+    WorkerDeath,
+    resolve_item_kernel,
+    resolve_sweep_kernel,
+)
+
 __all__ = [
+    "COMPUTE_FAULT_KINDS",
     "FAULT_MODES",
+    "ComputeFault",
     "FaultSpec",
+    "FaultyBackend",
+    "InjectedFault",
     "inject",
     "bitflip",
     "erase",
@@ -180,3 +208,245 @@ def inject(
             raise ValueError("need a FaultSpec or mode= and rate=")
         spec = FaultSpec(mode=mode, rate=rate, seed=seed, skip_prefix=skip_prefix)
     return FAULT_MODES[spec.mode](data, spec)
+
+
+# ---------------------------------------------------------------------------
+# Compute faults: deterministic worker-level chaos.
+# ---------------------------------------------------------------------------
+
+#: Supported compute-fault kinds.
+COMPUTE_FAULT_KINDS = ("exc", "hang", "kill")
+
+#: Default wedge duration for ``hang`` (seconds).  Long enough that any
+#: sane phase deadline expires first, short enough that an abandoned
+#: worker thread cannot wedge interpreter shutdown forever.
+_DEFAULT_HANG = 30.0
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic kernel exception raised by an ``exc`` fault.
+
+    A plain picklable ``RuntimeError`` subclass so it survives the
+    process backend's exception transport unchanged.
+    """
+
+
+@dataclass(frozen=True)
+class ComputeFault:
+    """One reproducible compute fault: what breaks, where, and when.
+
+    ``kind``
+        ``exc`` (kernel raises :class:`InjectedFault`), ``hang`` (the
+        worker sleeps ``arg`` seconds, default 30), or ``kill`` (the
+        worker dies: ``os._exit(27)`` in a process worker,
+        :class:`~repro.core.backend.WorkerDeath` on in-thread rungs).
+    ``op``
+        Which primitive to strike: ``sweep``, ``map``, or ``any``.
+    ``call``
+        0-based index of the matching primitive invocation on the
+        backend (an encode runs several sweeps before its tier-1 map).
+    ``unit``
+        Which unit inside that call misbehaves: the index into the
+        call's non-empty ranges for sweeps, the rank within the sorted
+        global item indices for maps (taken modulo the live count, so
+        ``unit=0`` always strikes something).
+    ``persistent``
+        One-shot faults are consumed when armed, so the supervisor's
+        retry succeeds; persistent faults re-arm on every matching call
+        from ``call`` onwards and only degradation escapes them.
+    """
+
+    kind: str
+    op: str = "any"
+    call: int = 0
+    unit: int = 0
+    arg: Optional[float] = None
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in COMPUTE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown compute-fault kind {self.kind!r}; "
+                f"options: {', '.join(COMPUTE_FAULT_KINDS)}"
+            )
+        if self.op not in ("sweep", "map", "any"):
+            raise ValueError(f"op must be sweep/map/any, not {self.op!r}")
+        if self.call < 0 or self.unit < 0:
+            raise ValueError("call and unit must be non-negative")
+        if self.arg is not None and self.arg < 0:
+            raise ValueError("arg must be non-negative")
+
+    @classmethod
+    def parse(cls, text: str) -> "ComputeFault":
+        """Parse ``kind[:op[:call[:unit[:arg[:persistent]]]]]``.
+
+        Examples: ``kill``, ``exc:map:0:3``, ``hang:sweep:1:0:0.5``,
+        ``kill:map:0:0::persistent``.
+        """
+        parts = text.split(":")
+        try:
+            return cls(
+                kind=parts[0],
+                op=parts[1] if len(parts) > 1 and parts[1] else "any",
+                call=int(parts[2]) if len(parts) > 2 and parts[2] else 0,
+                unit=int(parts[3]) if len(parts) > 3 and parts[3] else 0,
+                arg=float(parts[4]) if len(parts) > 4 and parts[4] else None,
+                persistent=(
+                    len(parts) > 5
+                    and parts[5].lower() in ("persistent", "p", "1", "true")
+                ),
+            )
+        except (ValueError, IndexError) as exc:
+            if isinstance(exc, ValueError) and "compute-fault" in str(exc):
+                raise
+            raise ValueError(f"bad compute-fault spec {text!r}: {exc}") from None
+
+    def chaos(self) -> Dict[str, Any]:
+        """The picklable payload the chaos kernels act on."""
+        return {"kind": self.kind, "arg": self.arg}
+
+
+def _trigger(chaos: Dict[str, Any]) -> None:
+    """Misbehave as instructed; runs *inside* the (possibly pooled) worker."""
+    kind = chaos["kind"]
+    if kind == "exc":
+        raise InjectedFault("injected kernel exception")
+    if kind == "hang":
+        time.sleep(float(chaos.get("arg") or _DEFAULT_HANG))
+        return
+    if kind == "kill":
+        import multiprocessing as mp
+        import os
+
+        if mp.parent_process() is not None:
+            # Real worker process: die the way an OOM-kill looks to the
+            # parent -- no cleanup, no exception transport.
+            os._exit(27)
+        raise WorkerDeath("injected worker kill")
+    raise ValueError(f"unknown chaos kind {kind!r}")  # pragma: no cover
+
+
+def _chaos_sweep(srcs, outs, a, b, extra) -> None:
+    """Sweep kernel wrapper: trigger on the target slab, then delegate.
+
+    Resolved by workers as ``repro.faults:_chaos_sweep`` via the dotted
+    kernel lookup, so it works under both fork and spawn.
+    """
+    chaos = extra["__chaos__"]
+    if tuple(chaos["target"]) == (a, b):
+        _trigger(chaos)
+    inner = {k: v for k, v in extra.items() if k not in ("__chaos__", "__kernel__")}
+    resolve_sweep_kernel(extra["__kernel__"])(srcs, outs, a, b, inner)
+
+
+def _chaos_item(payload):
+    """Item kernel wrapper: payload = (chaos-or-None, kernel, real payload)."""
+    chaos, kernel, real = payload
+    if chaos is not None:
+        _trigger(chaos)
+    return resolve_item_kernel(kernel)(real)
+
+
+class FaultyBackend(ExecutionBackend):
+    """Chaos-injecting wrapper around a real execution backend.
+
+    Counts ``sweep`` and ``map`` invocations (plain and ``*_attempt``
+    alike), arms the first matching :class:`ComputeFault` per call, and
+    rewrites the kernel/payloads so the fault fires *inside* the target
+    worker.  One-shot faults are consumed at arming time, which is what
+    makes supervised retries converge; ``persistent`` faults keep
+    striking until the supervisor degrades to a rung this wrapper no
+    longer controls.  ``ladder_name`` reports the wrapped backend's
+    position so the degradation ladder steps relative to it.
+    """
+
+    def __init__(self, inner: ExecutionBackend,
+                 faults: Sequence[ComputeFault]) -> None:
+        super().__init__(inner.n_workers)
+        self.inner = inner
+        self.faults: List[ComputeFault] = list(faults)
+        for f in self.faults:
+            if not isinstance(f, ComputeFault):
+                raise TypeError(f"not a ComputeFault: {f!r}")
+        self._consumed = [False] * len(self.faults)
+        self._counts = {"sweep": 0, "map": 0}
+        self.name = f"faulty({inner.name})"
+
+    @property
+    def ladder_name(self) -> str:
+        return getattr(self.inner, "ladder_name", self.inner.name)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def rebuild(self) -> None:
+        self.inner.rebuild()
+
+    # -- fault arming --------------------------------------------------------
+
+    def _arm(self, op: str) -> Optional[ComputeFault]:
+        n = self._counts[op]
+        self._counts[op] = n + 1
+        for idx, fault in enumerate(self.faults):
+            if self._consumed[idx] or fault.op not in (op, "any"):
+                continue
+            if fault.persistent:
+                if n >= fault.call:
+                    return fault
+            elif fault.call == n:
+                self._consumed[idx] = True
+                return fault
+        return None
+
+    def _sweep_args(self, kernel, ranges, extra):
+        fault = self._arm("sweep")
+        live = [(int(a), int(b)) for a, b in ranges if a != b]
+        if fault is None or not live:
+            return kernel, extra
+        chaos = fault.chaos()
+        chaos["target"] = live[fault.unit % len(live)]
+        extra2 = dict(extra)
+        extra2["__chaos__"] = chaos
+        extra2["__kernel__"] = kernel
+        return "repro.faults:_chaos_sweep", extra2
+
+    def _map_args(self, kernel, shares):
+        fault = self._arm("map")
+        items = sorted(i for share in shares for i, _ in share)
+        if fault is None or not items:
+            return kernel, shares
+        target = items[fault.unit % len(items)]
+        chaos = fault.chaos()
+        wrapped = [
+            [(i, (chaos if i == target else None, kernel, payload))
+             for i, payload in share]
+            for share in shares
+        ]
+        return "repro.faults:_chaos_item", wrapped
+
+    # -- ExecutionBackend API ------------------------------------------------
+
+    def sweep(self, kernel, srcs, outs, ranges, extra, ph=None,
+              label="cols", size_attr="columns") -> None:
+        kernel, extra = self._sweep_args(kernel, ranges, extra)
+        return self.inner.sweep(kernel, srcs, outs, ranges, extra, ph=ph,
+                                label=label, size_attr=size_attr)
+
+    def map_shares(self, kernel, shares, n_items, ph=None, label="cb"):
+        kernel, shares = self._map_args(kernel, shares)
+        return self.inner.map_shares(kernel, shares, n_items, ph=ph, label=label)
+
+    def sweep_attempt(self, kernel, srcs, outs, ranges, extra, deadline=None,
+                      ph=None, label="cols", size_attr="columns"):
+        kernel, extra = self._sweep_args(kernel, ranges, extra)
+        return self.inner.sweep_attempt(
+            kernel, srcs, outs, ranges, extra, deadline=deadline,
+            ph=ph, label=label, size_attr=size_attr,
+        )
+
+    def map_shares_attempt(self, kernel, shares, deadline=None,
+                           ph=None, label="cb"):
+        kernel, shares = self._map_args(kernel, shares)
+        return self.inner.map_shares_attempt(
+            kernel, shares, deadline=deadline, ph=ph, label=label
+        )

@@ -44,6 +44,7 @@ from .collect import (
     record_decode_metrics,
     record_encode_metrics,
     record_packet_metrics,
+    record_supervision_metrics,
     record_trace_metrics,
 )
 
@@ -68,6 +69,7 @@ __all__ = [
     "amdahl_report",
     "record_encode_metrics",
     "record_decode_metrics",
+    "record_supervision_metrics",
     "record_trace_metrics",
     "record_cache_metrics",
     "record_packet_metrics",

@@ -20,6 +20,7 @@ from .tracer import Tracer
 __all__ = [
     "record_encode_metrics",
     "record_decode_metrics",
+    "record_supervision_metrics",
     "record_trace_metrics",
     "record_cache_metrics",
     "record_packet_metrics",
@@ -48,6 +49,26 @@ def record_encode_metrics(registry: MetricsRegistry, result) -> None:
     registry.gauge(
         "repro_rate_bpp", "achieved rate of the last encode (bits/pixel)"
     ).set(result.rate_bpp())
+
+
+def record_supervision_metrics(registry: MetricsRegistry, report) -> None:
+    """Counters from one :class:`SupervisionReport` (after the fact).
+
+    The live alternative is passing ``metrics=registry`` into the
+    supervised call, which increments the same ``repro_supervisor_*``
+    counters as events happen; use one or the other, not both.
+    """
+    if report is None:
+        return
+    for metric in ("retries", "pool_rebuilds", "degradations",
+                   "timeouts", "worker_deaths", "kernel_errors"):
+        count = getattr(report, metric, 0)
+        counter = registry.counter(
+            f"repro_supervisor_{metric}_total",
+            f"Supervision {metric.replace('_', ' ')}.",
+        )
+        if count:
+            counter.inc(count)
 
 
 def record_decode_metrics(registry: MetricsRegistry, report) -> None:

@@ -64,6 +64,10 @@ class RunResult:
 
     machine: MachineSpec
     phases: List[PhaseResult] = field(default_factory=list)
+    #: Fault handling during the run (a
+    #: repro.core.supervise.SupervisionReport) when ``run(...,
+    #: supervise=)`` was active; None otherwise.
+    supervision: Optional["SupervisionReport"] = None  # noqa: F821
 
     @property
     def total_cycles(self) -> float:
@@ -176,7 +180,8 @@ class SimulatedSMP:
         return self.run_phase(name, [list(tasks)])
 
     def run(
-        self, phases: Sequence[tuple], tracer: Optional[Tracer] = None, backend=None
+        self, phases: Sequence[tuple], tracer: Optional[Tracer] = None,
+        backend=None, supervise=None, metrics=None,
     ) -> RunResult:
         """Execute a sequence of ``(name, assignment)`` barrier phases.
 
@@ -192,14 +197,36 @@ class SimulatedSMP:
         backend.  The simulation stays deterministic -- per-CPU sums run
         in the same order everywhere -- so results are identical across
         backends (part of the differential harness).
+
+        ``supervise`` (``True`` or a
+        :class:`~repro.core.supervise.SupervisionPolicy`) runs the
+        backend fault-tolerantly -- retries, pool rebuilds, degradation
+        ladder -- and attaches the
+        :class:`~repro.core.supervise.SupervisionReport` to
+        ``RunResult.supervision``.  ``metrics`` (a
+        :class:`~repro.obs.MetricsRegistry`) receives live
+        ``repro_supervisor_*`` counters.
         """
         result = RunResult(machine=self.machine)
+        from ..core.supervise import resolve_policy
+
+        policy = resolve_policy(supervise)
+        if policy is not None and backend is None:
+            backend = "threads"
         bk = owned = None
         if backend is not None:
             from ..core.backend import resolve_backend
 
             bk, was_created = resolve_backend(backend, self.n_cpus)
             owned = bk if was_created else None
+            if policy is not None:
+                from ..core.supervise import supervised
+
+                bk = supervised(
+                    bk, policy, metrics=metrics, owns_inner=was_created
+                )
+                result.supervision = bk.report
+                owned = bk
         try:
             for name, assignment in phases:
                 result.phases.append(self.run_phase(name, assignment, backend=bk))
