@@ -13,6 +13,8 @@ Usage::
                     --workers 4 [--max-retries N] [--phase-timeout S]
     python -m repro trace  encode test.pgm --trace-out t.json --format chrome
     python -m repro trace  decode out.rj2k --workers 4 --format table
+    python -m repro lint   [paths ...] [--strict] [--baseline FILE]
+    python -m repro races  [--backend threads|processes] [--workers 4]
     python -m repro experiments [--quick] [-o EXPERIMENTS.md]
 
 ``encode``/``decode`` also take ``--trace`` to print the per-stage
@@ -275,13 +277,18 @@ def _cmd_faults_exec(args: argparse.Namespace) -> int:
             f"for its full duration (default {faults._DEFAULT_HANG:g} s)"
         )
     inner = get_backend(args.backend or "threads", args.workers)
-    sup = supervised(
-        faults.FaultyBackend(inner, schedule), policy, owns_inner=True
-    )
+    sup = None
     try:
+        sup = supervised(
+            faults.FaultyBackend(inner, schedule), policy, owns_inner=True
+        )
         result = encode_image(img, params, backend=sup, n_workers=args.workers)
     finally:
-        sup.close()
+        # Until the supervisor adopts it, the bare pool is ours to close.
+        if sup is not None:
+            sup.close()
+        else:
+            inner.close()
     for spec in args.fault:
         print(f"fault   : {spec}")
     print(sup.report.summary())
@@ -294,6 +301,71 @@ def _cmd_faults_exec(args: argparse.Namespace) -> int:
         with open(args.output, "wb") as fh:
             fh.write(result.data)
         print(f"wrote {args.output}")
+    return 0 if identical else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the concurrency/determinism lint over the source tree."""
+    from pathlib import Path
+
+    from .analysis import lint as lint_mod
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        # Default: the installed package itself (src/repro in a checkout).
+        paths = [Path(__file__).resolve().parent]
+    baseline_path = Path(args.baseline)
+    baseline = None
+    if baseline_path.exists() and not args.strict:
+        baseline = lint_mod.load_baseline(baseline_path)
+    result = lint_mod.run_lint(paths, baseline=baseline, strict=args.strict)
+    if args.write_baseline:
+        n = lint_mod.write_baseline(
+            baseline_path, result.findings + result.baselined
+        )
+        print(f"wrote {baseline_path} ({n} fingerprint(s))")
+        return 0
+    for finding in result.findings:
+        print(finding.format())
+    for fp in result.stale_baseline:
+        print(f"stale baseline entry (violation fixed? remove it): {fp}")
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_races(args: argparse.Namespace) -> int:
+    """Encode+decode a synthetic image under the shared-array race
+    detector; verify the detector is transparent (bytes unchanged)."""
+    from .analysis.races import RaceDetectorBackend, RaceError
+    from .core.backend import get_backend
+
+    img = synthetic_image(SyntheticSpec(args.side, args.side, "mix", seed=args.seed))
+    params = CodecParams(
+        levels=args.levels,
+        filter_name="5/3" if args.lossless else "9/7",
+        cb_size=args.cb_size,
+        target_bpp=tuple(args.bpp) if args.bpp else None,
+        tile_size=args.tile_size,
+    )
+    reference = encode_image(img, params).data
+    det = RaceDetectorBackend(get_backend(args.backend or "threads", args.workers))
+    try:
+        result = encode_image(img, params, backend=det, n_workers=args.workers)
+        decode_image(result.data, backend=det, n_workers=args.workers)
+    except RaceError as exc:
+        print(exc.report.summary())
+        print(f"RACE: {exc}")
+        return 1
+    finally:
+        det.close()
+    print(det.report.summary())
+    identical = result.data == reference
+    print(
+        f"verdict : {'race-free, byte-identical to serial reference OK' if identical else 'MISMATCH vs serial reference'}"
+        f" ({len(result.data)} bytes, backend={args.backend or 'threads'}, "
+        f"workers={args.workers})"
+    )
     return 0 if identical else 1
 
 
@@ -501,6 +573,50 @@ def build_parser() -> argparse.ArgumentParser:
     fex.add_argument("--tile-size", type=int, default=0)
     _add_backend_args(fex)
     fex.set_defaults(fn=_cmd_faults_exec)
+
+    lnt = sub.add_parser(
+        "lint", help="concurrency/determinism lint over the source tree"
+    )
+    lnt.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lnt.add_argument(
+        "--baseline", default="lint-baseline.txt",
+        help="accepted-debt baseline file (default: ./lint-baseline.txt)",
+    )
+    lnt.add_argument(
+        "--strict", action="store_true",
+        help="ignore the baseline: report every unsuppressed finding",
+    )
+    lnt.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file",
+    )
+    lnt.set_defaults(fn=_cmd_lint)
+
+    rcs = sub.add_parser(
+        "races",
+        help="encode+decode under the shared-array race detector",
+    )
+    rcs.add_argument("--side", type=int, default=64, help="synthetic image side")
+    rcs.add_argument("--seed", type=int, default=0)
+    rcs.add_argument("--lossless", action="store_true")
+    rcs.add_argument("--levels", type=int, default=3)
+    rcs.add_argument("--cb-size", type=int, default=32)
+    rcs.add_argument("--bpp", type=float, nargs="*", default=None)
+    rcs.add_argument("--tile-size", type=int, default=0)
+    rcs.add_argument(
+        "--workers", type=int, default=4,
+        help="workers for the parallel stages (races need >= 2 units)",
+    )
+    from .core.backend import BACKEND_NAMES
+
+    rcs.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend to wrap (default: threads)",
+    )
+    rcs.set_defaults(fn=_cmd_races)
 
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--quick", action="store_true")

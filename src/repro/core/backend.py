@@ -624,12 +624,21 @@ def _proc_sweep(kernel, src_descs, out_descs, a, b, extra) -> float:
 
 
 def _portable_exception(exc: BaseException) -> BaseException:
-    """The exception itself when picklable, else a faithful surrogate."""
+    """The exception itself when picklable, else a faithful surrogate.
+
+    The probe must stay broad: a custom ``__reduce__`` may raise
+    anything at all, and an exception that cannot cross the pipe must
+    never take the worker down with it.  The surrogate carries the
+    probe failure so the original cause stays diagnosable.
+    """
     try:
         pickle.loads(pickle.dumps(exc))
         return exc
-    except Exception:
-        return RuntimeError(f"{type(exc).__name__}: {exc}")
+    except Exception as probe_exc:
+        return RuntimeError(
+            f"{type(exc).__name__}: {exc} "
+            f"(unpicklable: {type(probe_exc).__name__}: {probe_exc})"
+        )
 
 
 def _proc_share(kernel, share):
@@ -689,8 +698,8 @@ class ProcessesBackend(ExecutionBackend):
         for proc in list(getattr(ex, "_processes", {}).values()):
             try:
                 proc.terminate()
-            except Exception:  # pragma: no cover - already dead
-                pass
+            except (OSError, ValueError, AttributeError):
+                pass  # pragma: no cover - already dead or reaped
         ex.shutdown(wait=False, cancel_futures=True)
 
     # -- sweeps -------------------------------------------------------------

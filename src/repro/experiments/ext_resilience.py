@@ -25,6 +25,7 @@ import numpy as np
 from .. import faults
 from ..codec import CodecParams, decode_image, encode_image
 from ..image import SyntheticSpec, psnr, synthetic_image
+from ..tier2 import CodestreamError
 from ..tier2.codestream import main_header_size
 from .common import ExperimentResult
 
@@ -50,7 +51,11 @@ def _mean_psnr(ref, data, rates, seeds, skip):
             )
             try:
                 out, _report = decode_image(bad, resilient=True)
-            except Exception:
+            except CodestreamError:
+                # The "never raises" contract under test: count the
+                # breach (the check below requires zero).  Anything
+                # *other* than a decode error is a real bug and must
+                # fail the experiment loudly.
                 raised += 1
                 continue
             vals.append(min(psnr(ref, out), 99.0))
@@ -72,7 +77,9 @@ def _strict_failures(data, rates, seeds, skip):
             )
             try:
                 decode_image(bad)
-            except Exception:
+            except CodestreamError:
+                # Strict parsing normalizes all damage to CodestreamError;
+                # that rejection is exactly what this counter measures.
                 failures += 1
     return failures, total
 

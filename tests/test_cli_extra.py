@@ -19,6 +19,8 @@ class TestParser:
             "faults",
             "trace",
             "experiments",
+            "lint",
+            "races",
         }
 
     def test_missing_command_errors(self):
