@@ -1,0 +1,93 @@
+"""Cost envelope of the sampling profiler (DESIGN.md sec. 11).
+
+Two promises are enforced here:
+
+- **Zero-import on the normal path.** A traced encode/decode (even one
+  that runs on a thread or process backend) must never pull in
+  ``repro.obs.profile`` or ``repro.bench`` as a side effect -- the
+  profiler is strictly opt-in, and the tracer's per-thread active-name
+  map is the only cost it leaves on the hot path.
+- **Observe-only.** Profiling an encode changes neither its output
+  bytes nor (to within sampling overhead) its runtime: the sampler
+  walks ``sys._current_frames()`` from its own thread, it never
+  instruments the coder.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+_FORBIDDEN = ("repro.obs.profile", "repro.bench")
+
+
+def test_bench_profiler_is_never_imported_on_normal_path(benchmark):
+    """Fresh interpreter: traced encode + threaded decode, then verify
+    the profiler/bench modules were never pulled in."""
+    probe = (
+        "import sys\n"
+        "import numpy as np\n"
+        "from repro.codec import CodecParams, decode_image, encode_image\n"
+        "from repro.image import SyntheticSpec, synthetic_image\n"
+        "from repro.obs import Tracer\n"
+        "img = synthetic_image(SyntheticSpec(64, 64, 'mix', seed=3))\n"
+        "res = encode_image(img, CodecParams(levels=3, cb_size=32),\n"
+        "                   tracer=Tracer(), n_workers=2)\n"
+        "decode_image(res.data, tracer=Tracer(), n_workers=2)\n"
+        f"bad = [m for m in sys.modules if m.startswith({_FORBIDDEN!r})]\n"
+        "assert not bad, f'normal traced path imported {bad}'\n"
+        "print('clean')\n"
+    )
+
+    def run_probe():
+        return subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True, text=True, env={"PYTHONPATH": str(SRC)},
+        )
+
+    out = benchmark.pedantic(run_probe, rounds=1, iterations=1)
+    assert out.returncode == 0, out.stderr
+    assert "clean" in out.stdout
+
+
+def test_bench_profiler_observes_without_changing_output(benchmark):
+    from repro.codec import CodecParams, encode_image
+    from repro.image import SyntheticSpec, synthetic_image
+    from repro.obs import Tracer
+    from repro.obs.profile import SamplingProfiler
+
+    img = synthetic_image(SyntheticSpec(128, 128, "mix", seed=3))
+    params = CodecParams(levels=3, cb_size=32, base_step=1 / 64)
+
+    t0 = time.perf_counter()
+    plain = encode_image(img, params)
+    plain_s = time.perf_counter() - t0
+
+    tracer = Tracer()
+    prof = SamplingProfiler(tracer, hz=200.0)
+    t0 = time.perf_counter()
+    with prof:
+        profiled = encode_image(img, params, tracer=tracer)
+    profiled_s = time.perf_counter() - t0
+
+    def profiled_encode():
+        tr = Tracer()
+        with SamplingProfiler(tr, hz=200.0):
+            return encode_image(img, params, tracer=tr)
+
+    benchmark.pedantic(profiled_encode, rounds=3, iterations=1)
+    top = prof.top_functions(5)
+    print(f"\nencode: plain {plain_s:.3f}s, profiled {profiled_s:.3f}s "
+          f"(x{profiled_s / max(plain_s, 1e-9):.2f}); "
+          f"{prof.n_samples} sampling tick(s)")
+    for func, count, frac in top:
+        print(f"  {100.0 * frac:5.1f}%  {count:>6}  {func}")
+    # Identical bytes: the profiler only observes.
+    assert profiled.data == plain.data
+    assert prof.n_samples > 0
+    assert top, "a 128px encode must produce busy samples"

@@ -5,11 +5,33 @@ full scale, asserts its qualitative checks, and prints the regenerated
 series (run with ``-s`` to see the tables).  The ``benchmark`` fixture
 times one full regeneration (single round: the experiments are
 deterministic, so repetition adds nothing).
+
+``--bench-json PATH`` additionally persists every experiment's timing
+(and its printed series rows) into ``PATH`` using the trajectory schema
+of :mod:`repro.bench.trajectory`, scenario names prefixed
+``experiment:`` -- so figure regenerations land in the same trend
+report as the canonical ``repro bench`` scenarios.  Opt-in: without the
+flag nothing is imported from ``repro.bench`` and nothing is written.
 """
 
 from __future__ import annotations
 
 import pytest
+
+_BENCH_JSON_PATH = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="PATH",
+        help="append experiment timings to PATH in the repro-bench-"
+        "trajectory schema (see repro.bench.trajectory)",
+    )
+
+
+def pytest_configure(config):
+    global _BENCH_JSON_PATH
+    _BENCH_JSON_PATH = config.getoption("--bench-json", default=None)
 
 
 def run_experiment(benchmark, module, quick: bool = False):
@@ -18,8 +40,29 @@ def run_experiment(benchmark, module, quick: bool = False):
         module.run, kwargs={"quick": quick}, rounds=1, iterations=1
     )
     print("\n" + result.summary())
+    if _BENCH_JSON_PATH:
+        _persist(benchmark, result)
     assert result.all_passed, f"{result.name} failed: {result.failed_checks()}"
     return result
+
+
+def _persist(benchmark, result):
+    from repro.bench.trajectory import append_experiment
+
+    stats = benchmark.stats.stats
+    seconds = getattr(stats, "median", None)
+    if seconds is None:
+        seconds = stats.min
+    rows = None
+    if getattr(result, "rows", None):
+        rows = [dict(r) if isinstance(r, dict) else list(r) for r in result.rows]
+    append_experiment(
+        _BENCH_JSON_PATH,
+        name=result.name,
+        seconds=float(seconds),
+        rows=rows,
+        checks_passed=bool(result.all_passed),
+    )
 
 
 @pytest.fixture(scope="session")

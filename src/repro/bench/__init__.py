@@ -1,0 +1,58 @@
+"""Benchmark trajectory: canonical scenarios, BENCH_NNNN.json files,
+noise-aware regression gating, and trend reports.
+
+This package is only imported by the ``repro bench`` CLI, the tests,
+and the opt-in ``--bench-json`` hook of the pytest benchmarks -- never
+on the normal encode/decode path.
+"""
+
+from .compare import ComparePolicy, ComparisonResult, Delta, compare_runs
+from .report import render_report
+from .scenarios import (
+    Scenario,
+    default_suite,
+    run_scenario,
+    run_suite,
+    scenario_image,
+    scenario_params,
+)
+from .trajectory import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    ScenarioResult,
+    TrajectoryRun,
+    append_experiment,
+    environment_fingerprint,
+    latest_trajectory,
+    load_trajectories,
+    load_trajectory,
+    next_trajectory_path,
+    trajectory_paths,
+    write_trajectory,
+)
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "ComparePolicy",
+    "ComparisonResult",
+    "Delta",
+    "Scenario",
+    "ScenarioResult",
+    "TrajectoryRun",
+    "append_experiment",
+    "compare_runs",
+    "default_suite",
+    "environment_fingerprint",
+    "latest_trajectory",
+    "load_trajectories",
+    "load_trajectory",
+    "next_trajectory_path",
+    "render_report",
+    "run_scenario",
+    "run_suite",
+    "scenario_image",
+    "scenario_params",
+    "trajectory_paths",
+    "write_trajectory",
+]

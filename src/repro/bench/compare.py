@@ -1,0 +1,196 @@
+"""Noise-aware regression gating between two trajectory runs.
+
+``compare_runs(current, baseline)`` matches scenarios by name and flags
+a regression when the current median exceeds the baseline median by
+more than an *allowance* assembled from three terms:
+
+- a relative tolerance (``rel_tol`` for wall clock, the looser
+  ``stage_rel_tol`` for individual stages -- stage timings are noisier
+  than their sum),
+- a noise term proportional to the baseline's own repeat spread
+  (``noise_factor`` x (max - min)): a scenario that already wobbles 20%
+  between repeats cannot gate at 5%, and
+- an absolute floor (``abs_floor`` seconds) so microsecond-scale stages
+  ("pipeline setup") never trip the gate on scheduler jitter.
+
+Improvements are reported too (they are how the trajectory shows the
+HTJ2K / vectorized-lifting PRs paying off) but never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from .trajectory import ScenarioResult, TrajectoryRun
+
+__all__ = ["ComparePolicy", "Delta", "ComparisonResult", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class ComparePolicy:
+    """Thresholds of the regression gate."""
+
+    rel_tol: float = 0.30
+    stage_rel_tol: float = 0.60
+    abs_floor: float = 0.005  # seconds
+    noise_factor: float = 2.0
+    compare_stages: bool = True
+
+    def tolerant(self) -> "ComparePolicy":
+        """The CI variant: shared runners are ~2x noisier than laptops."""
+        return replace(
+            self,
+            rel_tol=self.rel_tol * 2.0,
+            stage_rel_tol=self.stage_rel_tol * 2.0,
+            abs_floor=self.abs_floor * 2.0,
+            noise_factor=self.noise_factor * 1.5,
+        )
+
+    def allowance(self, base: float, spread: float, rel: float) -> float:
+        return base * rel + self.noise_factor * spread + self.abs_floor
+
+
+@dataclass
+class Delta:
+    """One compared metric of one scenario."""
+
+    scenario: str
+    metric: str  # "wall" or "stage:<name>"
+    baseline: float
+    current: float
+    allowance: float
+    regression: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline <= 0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.baseline
+
+    def format(self) -> str:
+        mark = "REGRESSION" if self.regression else (
+            "improved" if self.current < self.baseline else "ok"
+        )
+        return (
+            f"{self.scenario:<34} {self.metric:<28} "
+            f"{1e3 * self.baseline:9.2f} -> {1e3 * self.current:9.2f} ms "
+            f"({self.ratio:5.2f}x, allowed +{1e3 * self.allowance:.2f} ms) {mark}"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of one gate evaluation."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)  # in baseline, not current
+    unmatched: List[str] = field(default_factory=list)  # in current, not baseline
+    baseline_seq: int = 0
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return [d for d in self.deltas if not d.regression
+                and d.current < d.baseline]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def summary(self) -> str:
+        lines = [
+            f"bench compare vs trajectory #{self.baseline_seq or '?'}: "
+            f"{len(self.deltas)} metric(s), "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        ]
+        for d in self.deltas:
+            if d.regression:
+                lines.append("  " + d.format())
+        for name in self.missing:
+            lines.append(f"  {name}: in the baseline but not re-measured "
+                         "(scenario vanished?) -- failing the gate")
+        for name in self.unmatched:
+            lines.append(f"  {name}: new scenario, no baseline yet (ignored)")
+        lines.append("verdict : " + ("OK (within tolerance)" if self.ok
+                                     else "REGRESSION"))
+        return "\n".join(lines)
+
+    def table(self) -> str:
+        return "\n".join(d.format() for d in self.deltas)
+
+
+def _compare_scenario(
+    current: ScenarioResult,
+    baseline: ScenarioResult,
+    policy: ComparePolicy,
+) -> List[Delta]:
+    deltas: List[Delta] = []
+    base_med = baseline.wall_median
+    cur_med = current.wall_median
+    allowance = policy.allowance(base_med, baseline.wall_spread, policy.rel_tol)
+    deltas.append(
+        Delta(
+            scenario=current.name,
+            metric="wall",
+            baseline=base_med,
+            current=cur_med,
+            allowance=allowance,
+            regression=cur_med > base_med + allowance,
+        )
+    )
+    if not policy.compare_stages:
+        return deltas
+    base_stages = baseline.stage_medians()
+    cur_stages = current.stage_medians()
+    for stage in sorted(base_stages):
+        base = base_stages[stage]
+        if base < policy.abs_floor or stage not in cur_stages:
+            continue  # too fast to gate on, or renamed away
+        cur = cur_stages[stage]
+        allowance = policy.allowance(
+            base, baseline.stage_spread(stage), policy.stage_rel_tol
+        )
+        deltas.append(
+            Delta(
+                scenario=current.name,
+                metric=f"stage:{stage}",
+                baseline=base,
+                current=cur,
+                allowance=allowance,
+                regression=cur > base + allowance,
+            )
+        )
+    return deltas
+
+
+def compare_runs(
+    current: TrajectoryRun,
+    baseline: TrajectoryRun,
+    policy: Optional[ComparePolicy] = None,
+) -> ComparisonResult:
+    """Gate ``current`` against ``baseline``; see the module docstring."""
+    policy = policy or ComparePolicy()
+    result = ComparisonResult(baseline_seq=baseline.seq)
+    current_by_name: Dict[str, ScenarioResult] = {
+        sc.name: sc for sc in current.scenarios
+    }
+    matched = set()
+    for base_sc in baseline.scenarios:
+        if base_sc.name.startswith("experiment:"):
+            continue  # stdout-series appends, not gate scenarios
+        cur_sc = current_by_name.get(base_sc.name)
+        if cur_sc is None:
+            result.missing.append(base_sc.name)
+            continue
+        matched.add(base_sc.name)
+        result.deltas.extend(_compare_scenario(cur_sc, base_sc, policy))
+    result.unmatched = [
+        name for name in current_by_name
+        if name not in matched and not name.startswith("experiment:")
+    ]
+    return result

@@ -1,0 +1,98 @@
+"""Markdown trend report across the repo's BENCH_NNNN.json trajectory.
+
+``render_report(runs)`` turns a list of :class:`TrajectoryRun` (ordered
+by sequence number) into a markdown document: one table of wall-clock
+medians with a column per trajectory file, a speedup table for the
+latest run (the Fig. 6/8 analogue), and the latest profiler top
+functions per scenario.  Scenarios are matched across runs by name, so
+the table naturally grows columns as PRs land and rows as the suite
+widens.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from .trajectory import TrajectoryRun
+
+__all__ = ["render_report"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{1e3 * seconds:.1f}"
+
+
+def _run_heading(run: TrajectoryRun) -> str:
+    commit = run.environment.get("commit", "?")
+    day = time.strftime("%Y-%m-%d", time.gmtime(run.created)) if run.created else "?"
+    return f"#{run.seq:04d}<br>{day}<br>`{commit}`"
+
+
+def render_report(runs: Sequence[TrajectoryRun]) -> str:
+    """Render the trend report; see the module docstring."""
+    runs = sorted(runs, key=lambda r: r.seq)
+    lines: List[str] = ["# Benchmark trajectory", ""]
+    if not runs:
+        lines.append("No `BENCH_NNNN.json` trajectory files found. "
+                     "Run `repro bench run` to create the first one.")
+        return "\n".join(lines) + "\n"
+
+    latest = runs[-1]
+    env = latest.environment
+    lines.append(
+        f"{len(runs)} run(s); latest #{latest.seq:04d} "
+        f"(suite `{latest.suite}`, python {env.get('python', '?')}, "
+        f"numpy {env.get('numpy', '?')}, "
+        f"{env.get('cpu_count', '?')} cpus, commit `{env.get('commit', '?')}`)."
+    )
+    lines.append("")
+
+    # -- wall-clock medians, one column per run ------------------------
+    names: List[str] = []
+    for run in runs:
+        for sc in run.scenarios:
+            if sc.name not in names:
+                names.append(sc.name)
+    lines.append("## Wall-clock medians (ms)")
+    lines.append("")
+    lines.append("| scenario | " + " | ".join(_run_heading(r) for r in runs) + " |")
+    lines.append("|---" * (len(runs) + 1) + "|")
+    for name in names:
+        cells = []
+        for run in runs:
+            sc = run.scenario(name)
+            cells.append(_fmt_ms(sc.wall_median) if sc is not None else "--")
+        lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
+    lines.append("")
+
+    # -- latest speedups + sequential fractions ------------------------
+    lines.append(f"## Speedup vs serial (run #{latest.seq:04d})")
+    lines.append("")
+    lines.append("| scenario | wall (ms) | speedup | seq. fraction (Amdahl) |")
+    lines.append("|---|---|---|---|")
+    for sc in latest.scenarios:
+        speedup = (f"{sc.speedup_vs_serial:.2f}x"
+                   if sc.speedup_vs_serial else "--")
+        frac = sc.amdahl.get("sequential_fraction") if sc.amdahl else None
+        frac_s = f"{frac:.3f}" if isinstance(frac, (int, float)) else "--"
+        lines.append(
+            f"| `{sc.name}` | {_fmt_ms(sc.wall_median)} | {speedup} | {frac_s} |"
+        )
+    lines.append("")
+
+    # -- latest hot functions ------------------------------------------
+    profiled = [sc for sc in latest.scenarios if sc.top_functions]
+    if profiled:
+        lines.append(f"## Hot functions (run #{latest.seq:04d}, sampled)")
+        lines.append("")
+        for sc in profiled:
+            lines.append(f"### `{sc.name}`")
+            lines.append("")
+            lines.append("| function | samples | share |")
+            lines.append("|---|---|---|")
+            for row in sc.top_functions[:8]:
+                func, count, frac = row[0], row[1], row[2]
+                lines.append(f"| `{func}` | {count} | {100.0 * frac:.1f}% |")
+            lines.append("")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,372 @@
+"""Schema-versioned ``BENCH_NNNN.json`` performance trajectory files.
+
+One trajectory file is one measured run of the canonical scenario suite
+(:mod:`repro.bench.scenarios`): per-scenario wall-clock repeats,
+stage-level medians from the tracer, Fig. 6/8-style speedups versus the
+serial scenario, the observed Amdahl sequential fraction, sampled hot
+functions, and an environment fingerprint (python/numpy/CPU
+count/commit) that makes cross-machine numbers interpretable.  Files
+are numbered consecutively at the repo root (``BENCH_0001.json``,
+``BENCH_0002.json``, ...) so the sequence *is* the performance history:
+``repro bench report`` renders the trend, ``repro bench compare`` gates
+changes against the latest point.
+
+The schema is versioned (:data:`SCHEMA_VERSION`); readers reject files
+from a newer schema instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import re
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "ScenarioResult",
+    "TrajectoryRun",
+    "append_experiment",
+    "environment_fingerprint",
+    "latest_trajectory",
+    "load_trajectory",
+    "load_trajectories",
+    "next_trajectory_path",
+    "trajectory_paths",
+    "write_trajectory",
+]
+
+SCHEMA = "repro-bench-trajectory"
+SCHEMA_VERSION = 1
+
+_FILE_RE = re.compile(r"^BENCH_(\d{4})\.json$")
+
+
+def median(values: List[float]) -> float:
+    """Median of a non-empty list (0.0 for an empty one)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements of one scenario: wall repeats + stage breakdowns.
+
+    ``spec`` is the scenario's own description (op/backend/workers/side
+    /repeats) so a later ``compare`` can re-run exactly the same
+    measurement; ``wall_seconds`` holds every repeat (the spread is the
+    noise model of the regression gate), ``stage_seconds`` maps stage
+    name to the per-repeat lists.
+    """
+
+    name: str
+    spec: Dict[str, Any]
+    wall_seconds: List[float] = field(default_factory=list)
+    stage_seconds: Dict[str, List[float]] = field(default_factory=dict)
+    speedup_vs_serial: Optional[float] = None
+    amdahl: Optional[Dict[str, Any]] = None
+    top_functions: List[List[Any]] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_median(self) -> float:
+        return median(self.wall_seconds)
+
+    @property
+    def wall_spread(self) -> float:
+        """Max-min spread of the wall repeats (the noise estimate)."""
+        if len(self.wall_seconds) < 2:
+            return 0.0
+        return max(self.wall_seconds) - min(self.wall_seconds)
+
+    def stage_medians(self) -> Dict[str, float]:
+        return {name: median(vals) for name, vals in self.stage_seconds.items()}
+
+    def stage_spread(self, stage: str) -> float:
+        vals = self.stage_seconds.get(stage, [])
+        if len(vals) < 2:
+            return 0.0
+        return max(vals) - min(vals)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "spec": dict(self.spec),
+            "wall_seconds": {
+                "median": self.wall_median,
+                "min": min(self.wall_seconds) if self.wall_seconds else 0.0,
+                "all": list(self.wall_seconds),
+            },
+            "stages": {
+                name: {"median": median(vals), "all": list(vals)}
+                for name, vals in sorted(self.stage_seconds.items())
+            },
+        }
+        if self.speedup_vs_serial is not None:
+            out["speedup_vs_serial"] = self.speedup_vs_serial
+        if self.amdahl is not None:
+            out["amdahl"] = dict(self.amdahl)
+        if self.top_functions:
+            out["top_functions"] = [list(t) for t in self.top_functions]
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ScenarioResult":
+        return cls(
+            name=d["name"],
+            spec=dict(d.get("spec", {})),
+            wall_seconds=list(d.get("wall_seconds", {}).get("all", [])),
+            stage_seconds={
+                name: list(entry.get("all", []))
+                for name, entry in d.get("stages", {}).items()
+            },
+            speedup_vs_serial=d.get("speedup_vs_serial"),
+            amdahl=d.get("amdahl"),
+            top_functions=[list(t) for t in d.get("top_functions", [])],
+            extra=dict(d.get("extra", {})),
+        )
+
+
+@dataclass
+class TrajectoryRun:
+    """One suite run: environment fingerprint + scenario results."""
+
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+    environment: Dict[str, Any] = field(default_factory=dict)
+    suite: str = "full"
+    label: str = ""
+    created: float = 0.0
+    seq: int = 0
+
+    def scenario(self, name: str) -> Optional[ScenarioResult]:
+        for sc in self.scenarios:
+            if sc.name == name:
+                return sc
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "seq": self.seq,
+            "suite": self.suite,
+            "label": self.label,
+            "created": self.created,
+            "created_iso": _iso(self.created),
+            "environment": dict(self.environment),
+            "scenarios": [sc.to_dict() for sc in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TrajectoryRun":
+        if d.get("schema") != SCHEMA:
+            raise ValueError(f"not a {SCHEMA} document")
+        version = int(d.get("schema_version", 0))
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"trajectory schema v{version} is newer than this reader "
+                f"(v{SCHEMA_VERSION}); refusing to misread it"
+            )
+        return cls(
+            scenarios=[ScenarioResult.from_dict(s) for s in d.get("scenarios", [])],
+            environment=dict(d.get("environment", {})),
+            suite=d.get("suite", "full"),
+            label=d.get("label", ""),
+            created=float(d.get("created", 0.0)),
+            seq=int(d.get("seq", 0)),
+        )
+
+    def summary(self) -> str:
+        env = self.environment
+        lines = [
+            f"trajectory #{self.seq or '?'} ({self.suite} suite"
+            + (f", {self.label}" if self.label else "")
+            + f"): {len(self.scenarios)} scenario(s) on "
+            f"python {env.get('python', '?')}, numpy {env.get('numpy', '?')}, "
+            f"{env.get('cpu_count', '?')} CPU(s), commit {env.get('commit', '?')}"
+        ]
+        for sc in self.scenarios:
+            speed = (
+                f"  {sc.speedup_vs_serial:.2f}x vs serial"
+                if sc.speedup_vs_serial is not None else ""
+            )
+            lines.append(
+                f"  {sc.name:<34} {1e3 * sc.wall_median:9.2f} ms median "
+                f"(n={len(sc.wall_seconds)}, spread {1e3 * sc.wall_spread:.2f} ms)"
+                + speed
+            )
+            if sc.amdahl:
+                lines.append(
+                    f"  {'':<34} sequential fraction "
+                    f"{sc.amdahl.get('sequential_fraction', float('nan')):.3f}, "
+                    f"max speedup {sc.amdahl.get('max_speedup', float('nan')):.2f}x"
+                )
+        return "\n".join(lines)
+
+
+def _iso(ts: float) -> str:
+    if not ts or not math.isfinite(ts):
+        return ""
+    return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(ts)) + "Z"
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """What this machine is, for cross-run comparability."""
+    import numpy as np
+
+    env: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "commit": _git_commit(),
+    }
+    return env
+
+
+def _git_commit() -> str:
+    # Resolve against the package checkout (src/repro/bench/ -> repo
+    # root); an installed wheel has no .git and reports "unknown".
+    root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=str(root),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+# ---------------------------------------------------------------------------
+# File naming and IO.
+# ---------------------------------------------------------------------------
+
+
+def trajectory_paths(root: Path) -> List[Path]:
+    """Every ``BENCH_NNNN.json`` under ``root``, in sequence order."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    found = []
+    for path in root.iterdir():
+        m = _FILE_RE.match(path.name)
+        if m:
+            found.append((int(m.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def next_trajectory_path(root: Path) -> Path:
+    """The next unused ``BENCH_NNNN.json`` slot under ``root``."""
+    paths = trajectory_paths(root)
+    if not paths:
+        return Path(root) / "BENCH_0001.json"
+    last = int(_FILE_RE.match(paths[-1].name).group(1))
+    return Path(root) / f"BENCH_{last + 1:04d}.json"
+
+
+def load_trajectory(path: Path) -> TrajectoryRun:
+    with open(path, "r", encoding="utf-8") as fh:
+        run = TrajectoryRun.from_dict(json.load(fh))
+    m = _FILE_RE.match(Path(path).name)
+    if m and not run.seq:
+        run.seq = int(m.group(1))
+    return run
+
+
+def load_trajectories(root: Path) -> List[TrajectoryRun]:
+    return [load_trajectory(p) for p in trajectory_paths(root)]
+
+
+def latest_trajectory(root: Path) -> Optional[Path]:
+    paths = trajectory_paths(root)
+    return paths[-1] if paths else None
+
+
+def write_trajectory(run: TrajectoryRun, root: Path) -> Path:
+    """Persist ``run`` into the next ``BENCH_NNNN.json`` slot."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = next_trajectory_path(root)
+    run.seq = int(_FILE_RE.match(path.name).group(1))
+    if not run.created:
+        run.created = time.time()
+    if not run.environment:
+        run.environment = environment_fingerprint()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(run.to_dict(), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Benchmark-script bridge (`benchmarks/conftest.py --bench-json`).
+# ---------------------------------------------------------------------------
+
+
+def append_experiment(
+    path: Path,
+    name: str,
+    seconds: float,
+    rows: Optional[List[Dict[str, Any]]] = None,
+    checks_passed: Optional[bool] = None,
+) -> Path:
+    """Append one experiment timing to a trajectory-schema file.
+
+    The ``bench_fig*`` / ``bench_ablation_*`` scripts print their series
+    to stdout; with ``--bench-json PATH`` they also persist here --
+    same envelope as the scenario suite, scenario names prefixed
+    ``experiment:`` so ``repro bench report`` renders them alongside the
+    canonical scenarios.  The file is created on first use and appended
+    (read-modify-write) after; one pytest-benchmark session is serial,
+    so no locking is needed.
+    """
+    path = Path(path)
+    if path.exists():
+        with open(path, "r", encoding="utf-8") as fh:
+            run = TrajectoryRun.from_dict(json.load(fh))
+    else:
+        run = TrajectoryRun(
+            suite="experiments",
+            created=time.time(),
+            environment=environment_fingerprint(),
+        )
+    scenario = ScenarioResult(
+        name=f"experiment:{name}",
+        spec={"op": "experiment", "experiment": name},
+        wall_seconds=[float(seconds)],
+    )
+    if rows is not None:
+        scenario.extra["rows"] = rows
+    if checks_passed is not None:
+        scenario.extra["checks_passed"] = bool(checks_passed)
+    # Re-running the same experiment in one session accumulates repeats.
+    existing = run.scenario(scenario.name)
+    if existing is not None:
+        existing.wall_seconds.extend(scenario.wall_seconds)
+        existing.extra.update(scenario.extra)
+    else:
+        run.scenarios.append(scenario)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(run.to_dict(), fh, indent=2)
+        fh.write("\n")
+    return path

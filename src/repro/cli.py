@@ -16,6 +16,9 @@ Usage::
     python -m repro lint   [paths ...] [--strict] [--baseline FILE]
     python -m repro races  [--backend threads|processes] [--workers 4]
     python -m repro experiments [--quick] [-o EXPERIMENTS.md]
+    python -m repro bench run [--quick] [--dir D] [--label TEXT]
+    python -m repro bench compare [--tolerant] [--baseline FILE]
+    python -m repro bench report [-o REPORT.md]
 
 ``encode``/``decode`` also take ``--trace`` to print the per-stage
 breakdown (Fig. 3) of that one run; ``trace`` is the full-featured
@@ -369,6 +372,120 @@ def _cmd_races(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _bench_wrap_backend(handicaps):
+    """A ``wrap_backend`` hook injecting persistent compute faults.
+
+    Used to self-test the regression gate: ``repro bench compare
+    --handicap hang:sweep:0:0:0.05`` must exit nonzero on an otherwise
+    unchanged tree.
+    """
+    if not handicaps:
+        return None
+    from . import faults
+
+    def wrap(backend):
+        schedule = [faults.ComputeFault.parse(spec) for spec in handicaps]
+        return faults.FaultyBackend(backend, schedule)
+
+    return wrap
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import run_suite, write_trajectory
+
+    run = run_suite(
+        quick=args.quick,
+        repeats=args.repeats,
+        profile=not args.no_profile,
+        label=args.label,
+        wrap_backend=_bench_wrap_backend(args.handicap),
+        progress=print,
+    )
+    path = write_trajectory(run, Path(args.dir))
+    print(f"wrote {path}")
+    print(run.summary())
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        ComparePolicy,
+        Scenario,
+        TrajectoryRun,
+        compare_runs,
+        environment_fingerprint,
+        latest_trajectory,
+        load_trajectory,
+        run_scenario,
+    )
+
+    root = Path(args.dir)
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = latest_trajectory(root)
+        if baseline_path is None:
+            print(f"no BENCH_NNNN.json trajectory in {root}; "
+                  "run `repro bench run` first")
+            return 2
+    baseline = load_trajectory(baseline_path)
+    print(f"baseline: {baseline_path} (trajectory #{baseline.seq:04d}, "
+          f"{baseline.suite} suite, commit "
+          f"{baseline.environment.get('commit', '?')})")
+    wrap = _bench_wrap_backend(args.handicap)
+    # Re-measure exactly what the baseline measured (a quick baseline
+    # gets a quick comparison) with the baseline's own repeat counts.
+    gate_scenarios = [
+        sc for sc in baseline.scenarios
+        if not sc.name.startswith("experiment:")
+    ]
+    if not gate_scenarios:
+        print(f"baseline #{baseline.seq:04d} has no gate scenarios "
+              "(experiments-only trajectory); nothing to compare")
+        return 2
+    current = TrajectoryRun(
+        suite=baseline.suite,
+        label="compare",
+        environment=environment_fingerprint(),
+    )
+    for base_sc in gate_scenarios:
+        scenario = Scenario.from_spec(base_sc.spec)
+        repeats = int(base_sc.spec.get("repeats", 3))
+        print(f"bench: {scenario.name} (x{repeats})")
+        current.scenarios.append(
+            run_scenario(
+                scenario, repeats=repeats, profile=False, wrap_backend=wrap
+            )
+        )
+    policy = ComparePolicy()
+    if args.tolerant:
+        policy = policy.tolerant()
+    result = compare_runs(current, baseline, policy)
+    print(result.table())
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import load_trajectories, render_report
+
+    runs = load_trajectories(Path(args.dir))
+    text = render_report(runs)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(runs)} run(s))")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.report import main as report_main
 
@@ -622,6 +739,62 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--quick", action="store_true")
     exp.add_argument("-o", "--output", default="EXPERIMENTS.md")
     exp.set_defaults(fn=_cmd_experiments)
+
+    bch = sub.add_parser(
+        "bench",
+        help="benchmark trajectory: run the scenario suite, gate regressions",
+    )
+    bch_sub = bch.add_subparsers(dest="bench_command", required=True)
+    brun = bch_sub.add_parser(
+        "run", help="run the scenario suite, write the next BENCH_NNNN.json"
+    )
+    brun.add_argument(
+        "--quick", action="store_true",
+        help="small 3-scenario suite (CI-sized) instead of the full matrix",
+    )
+    brun.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repeats per scenario (default: 2 quick, 3 full)",
+    )
+    brun.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the extra sampled-profiler repeat per scenario",
+    )
+    brun.add_argument("--label", default="", help="free-text tag stored in the file")
+    brun.set_defaults(fn=_cmd_bench_run)
+    bcmp = bch_sub.add_parser(
+        "compare",
+        help="re-measure the latest trajectory's scenarios; exit 1 on regression",
+    )
+    bcmp.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare against this trajectory file instead of the latest",
+    )
+    bcmp.add_argument(
+        "--tolerant", action="store_true",
+        help="widen thresholds ~2x for noisy shared runners (CI)",
+    )
+    bcmp.set_defaults(fn=_cmd_bench_compare)
+    brep = bch_sub.add_parser(
+        "report", help="render a markdown trend table across trajectory files"
+    )
+    brep.add_argument(
+        "-o", "--output", default=None,
+        help="write the markdown here instead of stdout",
+    )
+    brep.set_defaults(fn=_cmd_bench_report)
+    for p in (brun, bcmp):
+        p.add_argument(
+            "--handicap", action="append", default=None, metavar="SPEC",
+            help="wrap every scenario backend in a FaultyBackend with this "
+            "compute-fault spec (repeatable; self-test of the gate), "
+            "e.g. hang:sweep:0:0:0.05:p",
+        )
+    for p in (brun, bcmp, brep):
+        p.add_argument(
+            "--dir", default=".", metavar="DIR",
+            help="directory holding the BENCH_NNNN.json files (default: .)",
+        )
     return ap
 
 

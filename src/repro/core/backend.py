@@ -670,9 +670,23 @@ class ProcessesBackend(ExecutionBackend):
 
     name = "processes"
 
+    #: Advertises the worker-side sample shipping below so
+    #: :meth:`repro.obs.profile.SamplingProfiler.attach` knows this
+    #: backend's workers are invisible to ``sys._current_frames()``.
+    ships_profile_samples = True
+
     def __init__(self, n_workers: int = 1) -> None:
         super().__init__(n_workers)
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Sampling rate requested by an attached profiler; ``None``
+        #: (the default) keeps the profiler entirely unimported.
+        self.profile_hz: Optional[float] = None
+        self._profile_tables: List[Dict[str, Any]] = []
+
+    def drain_profile_samples(self) -> List[Dict[str, Any]]:
+        """Worker sample tables accumulated since the last drain."""
+        tables, self._profile_tables = self._profile_tables, []
+        return tables
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -741,12 +755,28 @@ class ProcessesBackend(ExecutionBackend):
                 out_views.append(view)
             try:
                 pool = self._pool()
-                futures = [
-                    pool.submit(_proc_sweep, kernel, src_descs, out_descs, a, b, extra)
-                    for a, b in live
-                ]
+                hz = self.profile_hz
+                if hz:
+                    # Lazy on purpose: the profiler module only loads
+                    # once a profiler has attached to this backend.
+                    from ..obs.profile import proc_sweep_profiled
+
+                    futures = [
+                        pool.submit(proc_sweep_profiled, kernel, src_descs,
+                                    out_descs, a, b, extra, hz)
+                        for a, b in live
+                    ]
+                else:
+                    futures = [
+                        pool.submit(_proc_sweep, kernel, src_descs, out_descs,
+                                    a, b, extra)
+                        for a, b in live
+                    ]
                 for w, ((a, b), fut) in enumerate(zip(live, futures)):
                     busy = fut.result()
+                    if hz:
+                        busy, table = busy
+                        self._profile_tables.append(table)
                     if ph is not None:
                         ph.record(
                             f"{label}[{a}:{b}]", worker=w, seconds=busy,
@@ -777,9 +807,21 @@ class ProcessesBackend(ExecutionBackend):
             return SerialBackend(1).map_shares(kernel, shares, n_items, ph, label)
         try:
             pool = self._pool()
-            futures = [pool.submit(_proc_share, kernel, share) for _, share in live]
+            hz = self.profile_hz
+            if hz:
+                from ..obs.profile import proc_share_profiled
+
+                futures = [pool.submit(proc_share_profiled, kernel, share, hz)
+                           for _, share in live]
+            else:
+                futures = [pool.submit(_proc_share, kernel, share)
+                           for _, share in live]
             for (w, _), fut in zip(live, futures):
-                for i, result, error, busy in fut.result():
+                items = fut.result()
+                if hz:
+                    items, table = items
+                    self._profile_tables.append(table)
+                for i, result, error, busy in items:
                     results[i] = result
                     errors[i] = error
                     if ph is not None:

@@ -18,6 +18,12 @@ codec paths:
 
 Tracing is zero-cost by default: every instrumented call site takes
 ``tracer=None`` and allocates no spans on that path.
+
+The sampling profiler (:mod:`repro.obs.profile`) is exported lazily:
+``repro.obs.SamplingProfiler`` resolves on first attribute access, so
+importing this package (which every traced call site does) never pays
+for -- or even imports -- the profiler.  ``benchmarks/bench_obs_profile.py``
+enforces that guarantee.
 """
 
 from .tracer import (
@@ -73,4 +79,18 @@ __all__ = [
     "record_trace_metrics",
     "record_cache_metrics",
     "record_packet_metrics",
+    "FunctionSampler",
+    "SamplingProfiler",
 ]
+
+#: Lazily resolved so the normal encode/decode path (which imports this
+#: package for ``stage_span``) never imports the profiler machinery.
+_LAZY = {"FunctionSampler", "SamplingProfiler"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import profile as _profile
+
+        return getattr(_profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -60,8 +60,12 @@ def amdahl_report(tracer: Tracer, n_cpus: int = 4) -> AmdahlReport:
     Aggregates every ``category="stage"`` span: spans recorded with
     ``parallel=True`` (the paper's DWT, quantization and tier-1 stages)
     are the parallelizable share ``p``; the rest is the sequential share
-    ``s``.  Raises ``ValueError`` when the trace carries no stage spans
-    at all -- an Amdahl bound from an empty profile would be meaningless.
+    ``s``.  An empty or zero-duration trace (no stage spans, or stage
+    spans summing to zero seconds) yields the well-defined degenerate
+    report ``sequential_fraction=1.0`` / ``max_speedup=1.0`` -- nothing
+    measured means nothing demonstrably parallelizable, and callers
+    (the bench trajectory suite, regression gates) can consume the
+    report without special-casing a division by zero.
     """
     serial: Dict[str, float] = {}
     parallel: Dict[str, float] = {}
@@ -70,10 +74,18 @@ def amdahl_report(tracer: Tracer, n_cpus: int = 4) -> AmdahlReport:
             continue
         bucket = parallel if sp.parallel else serial
         bucket[sp.name] = bucket.get(sp.name, 0.0) + sp.seconds
-    if not serial and not parallel:
-        raise ValueError("trace has no stage spans to analyze")
     s = sum(serial.values())
     p = sum(parallel.values())
+    if s + p <= 0.0:
+        return AmdahlReport(
+            serial_seconds=s,
+            parallel_seconds=p,
+            sequential_fraction=1.0,
+            n_cpus=n_cpus,
+            max_speedup=1.0,
+            serial_stages=tuple(sorted(serial)),
+            parallel_stages=tuple(sorted(parallel)),
+        )
     return AmdahlReport(
         serial_seconds=s,
         parallel_seconds=p,

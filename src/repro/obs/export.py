@@ -19,18 +19,33 @@ from typing import Any, Dict, List, Optional
 
 from .tracer import PARALLEL_STAGES, STAGE_NAMES, Tracer
 
-__all__ = ["PID_PIPELINE", "PID_WORKERS", "chrome_trace", "chrome_trace_json", "stage_table"]
+__all__ = [
+    "PID_PIPELINE",
+    "PID_WORKERS",
+    "PID_PROFILE",
+    "chrome_trace",
+    "chrome_trace_json",
+    "stage_table",
+]
 
 PID_PIPELINE = 1
 PID_WORKERS = 2
+PID_PROFILE = 3
 
 
 def _us(seconds: float) -> float:
     return round(seconds * 1e6, 3)
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
-    """Trace Event Format dict for one tracer's spans and tasks."""
+def chrome_trace(tracer: Tracer, profile=None) -> Dict[str, Any]:
+    """Trace Event Format dict for one tracer's spans and tasks.
+
+    ``profile`` (an optional
+    :class:`~repro.obs.profile.SamplingProfiler`) merges its samples
+    into the same timeline as thread-scoped instant events on
+    :data:`PID_PROFILE` -- the sampled hot functions line up under the
+    spans that ran them.
+    """
     events: List[Dict[str, Any]] = [
         {"ph": "M", "pid": PID_PIPELINE, "tid": 0, "name": "process_name",
          "args": {"name": "pipeline"}},
@@ -89,11 +104,15 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
                 "args": args,
             }
         )
+    if profile is not None:
+        events.extend(profile.chrome_events(PID_PROFILE))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def chrome_trace_json(tracer: Tracer, indent: Optional[int] = None) -> str:
-    return json.dumps(chrome_trace(tracer), indent=indent)
+def chrome_trace_json(
+    tracer: Tracer, indent: Optional[int] = None, profile=None
+) -> str:
+    return json.dumps(chrome_trace(tracer, profile=profile), indent=indent)
 
 
 def stage_table(tracer: Tracer, title: str = "stage breakdown") -> str:

@@ -156,16 +156,26 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def to_prometheus(self) -> str:
-        """Render every metric in the Prometheus text exposition format."""
+        """Render every metric in the Prometheus text exposition format.
+
+        HELP text is escaped per the exposition-format spec: backslash
+        and newline become ``\\\\`` and ``\\n`` so multi-line help cannot
+        inject sample lines into the scrape.
+        """
         lines: List[str] = []
         for metric in self._metrics.values():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for name, labels, value in metric.samples():
                 sample = f"{name}{{{labels}}}" if labels else name
                 lines.append(f"{sample} {_fmt_float(value)}")
         return "\n".join(lines) + "\n"
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash first, then newline) for exposition."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt_float(value: float) -> str:

@@ -106,6 +106,12 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._tids: Dict[int, int] = {}
+        # Top-of-stack span/task name per thread ident, maintained so an
+        # *external* observer (the sampling profiler walking
+        # ``sys._current_frames()``) can attribute a sample to whatever
+        # this thread is doing right now.  Plain dict writes keyed by
+        # ident are atomic under the GIL; each key has a single writer.
+        self._active: Dict[int, str] = {}
         self.spans: List[Span] = []
         self.tasks: List[TaskRecord] = []
 
@@ -150,11 +156,17 @@ class Tracer:
             attrs=dict(attrs),
         )
         stack.append(sp)
+        ident = threading.get_ident()
+        self._active[ident] = name
         try:
             yield sp
         finally:
             sp.t1 = self.now()
             stack.pop()
+            if stack:
+                self._active[ident] = stack[-1].name
+            else:
+                self._active.pop(ident, None)
             with self._lock:
                 self.spans.append(sp)
 
@@ -191,6 +203,14 @@ class Tracer:
             rec.close()
 
     # -- queries ------------------------------------------------------------
+
+    def active_name(self, ident: int) -> Optional[str]:
+        """Name of the span/phase the thread ``ident`` is inside, if any.
+
+        Safe to call from any thread (the sampling profiler calls it
+        from its sampler thread against every thread it observes).
+        """
+        return self._active.get(ident)
 
     def stage_seconds(self) -> Dict[str, float]:
         """Wall seconds aggregated per ``category="stage"`` span name."""
@@ -290,9 +310,19 @@ class PhaseRecorder:
             queue_wait=t0 - self.t0,
             attrs=dict(attrs),
         )
+        # Worker threads carry no span stack; publish the phase name so
+        # the sampling profiler can attribute their samples.
+        ident = threading.get_ident()
+        active = self.tracer._active
+        prev = active.get(ident)
+        active[ident] = self.name
         try:
             yield rec
         finally:
+            if prev is None:
+                active.pop(ident, None)
+            else:
+                active[ident] = prev
             rec.t1 = self.tracer.now()
             with self._lock:
                 self._tasks.append(rec)

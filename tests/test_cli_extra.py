@@ -21,6 +21,7 @@ class TestParser:
             "experiments",
             "lint",
             "races",
+            "bench",
         }
 
     def test_missing_command_errors(self):

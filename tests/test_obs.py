@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import json
+import sys
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -131,6 +134,50 @@ def test_chrome_trace_schema(small_image):
     assert pids == {PID_PIPELINE, PID_WORKERS}
 
 
+def test_chrome_trace_process_worker_tasks(small_image, process_backend):
+    """Process-worker TaskRecords export with correct tid/pid mapping."""
+    res = encode_image(small_image, CodecParams(levels=2, cb_size=16))
+    tr = Tracer()
+    # The outer span makes every stage span a child: the export must
+    # keep that parenting (same lane, contained interval).
+    with tr.span("decode-call"):
+        decode_image(res.data, n_workers=2, backend=process_backend, tracer=tr)
+    assert tr.tasks, "process backend must contribute worker task records"
+    doc = chrome_trace(tr)
+    evs = doc["traceEvents"]
+    # Every task record is an X event on the workers pid, tid == worker id.
+    tasks = [e for e in evs if e["ph"] == "X" and e["pid"] == PID_WORKERS]
+    assert len(tasks) == len(tr.tasks)
+    workers = {t.worker for t in tr.tasks}
+    assert {e["tid"] for e in tasks} == workers
+    # Metadata rows name each worker lane.
+    lane_names = {
+        e["tid"]: e["args"]["name"]
+        for e in evs
+        if e["ph"] == "M" and e["pid"] == PID_WORKERS
+        and e["name"] == "thread_name"
+    }
+    assert lane_names == {w: f"worker-{w}" for w in workers}
+    # Nested pipeline spans keep their parenting: a child's exported
+    # interval sits inside its parent's on the same thread lane.
+    exported = {
+        (e["name"], e["ts"]): e
+        for e in evs
+        if e["ph"] == "X" and e["pid"] == PID_PIPELINE
+    }
+    nested = 0
+    for sp in tr.spans:
+        if sp.parent is None:
+            continue
+        child = exported[(sp.name, round(sp.t0 * 1e6, 3))]
+        parent = exported[(sp.parent.name, round(sp.parent.t0 * 1e6, 3))]
+        assert child["tid"] == parent["tid"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1e-3
+        nested += 1
+    assert nested > 0, "decode must record nested spans"
+
+
 # ---------------------------------------------------------------------------
 # Metrics + Prometheus round-trip
 # ---------------------------------------------------------------------------
@@ -151,6 +198,29 @@ def test_prometheus_round_trip():
     assert parsed['repro_lat_seconds_bucket{le="+Inf"}'] == 3.0
     assert parsed["repro_lat_seconds_count"] == 3.0
     assert parsed["repro_lat_seconds_sum"] == pytest.approx(5.55)
+
+
+def test_prometheus_help_escaping_round_trip():
+    """HELP text with backslashes/newlines cannot corrupt the scrape."""
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_esc_total", "line one\nline two with a \\ backslash"
+    ).inc(2)
+    reg.gauge("repro_tiny", "exponent-formatted value").set(1.5e-7)
+    text = reg.to_prometheus()
+    # The help stays on one comment line, escaped per the exposition spec.
+    (help_line,) = [
+        l for l in text.splitlines() if l.startswith("# HELP repro_esc_total")
+    ]
+    assert help_line == (
+        "# HELP repro_esc_total line one\\nline two with a \\\\ backslash"
+    )
+    assert not any(
+        "line two" in l for l in text.splitlines() if not l.startswith("#")
+    )
+    parsed = parse_prometheus(text)
+    assert parsed["repro_esc_total"] == 2.0
+    assert parsed["repro_tiny"] == pytest.approx(1.5e-7)
 
 
 def test_metrics_registry_rejects_conflicts_and_bad_input():
@@ -199,9 +269,27 @@ def test_amdahl_report_hand_built_trace():
     assert rep.serial_stages == ("tier-2 coding",)
 
 
-def test_amdahl_report_requires_stage_spans():
-    with pytest.raises(ValueError):
-        amdahl_report(Tracer())
+def test_amdahl_report_empty_tracer_degenerates():
+    """No stage spans: a well-defined f=1 report, not an exception."""
+    rep = amdahl_report(Tracer())
+    assert rep.sequential_fraction == 1.0
+    assert rep.max_speedup == 1.0
+    assert rep.serial_seconds == 0.0 and rep.parallel_seconds == 0.0
+    assert rep.serial_stages == () and rep.parallel_stages == ()
+    assert rep.speedup_at(8) == 1.0
+    assert "sequential fraction" in rep.summary()  # renders, no div-by-zero
+
+
+def test_amdahl_report_zero_duration_spans_degenerate():
+    tr = Tracer()
+    tr.add_span("tier-1 coding", 1.0, 1.0, category="stage", parallel=True)
+    tr.add_span("tier-2 coding", 2.0, 2.0, category="stage", parallel=False)
+    rep = amdahl_report(tr, n_cpus=4)
+    assert rep.sequential_fraction == 1.0
+    assert rep.max_speedup == 1.0
+    # The stage names are still reported even though they cost nothing.
+    assert rep.parallel_stages == ("tier-1 coding",)
+    assert rep.serial_stages == ("tier-2 coding",)
 
 
 def test_amdahl_report_from_real_encode(small_image):
@@ -278,6 +366,150 @@ def test_encoder_report_add_work_type_error_via_timed():
     with rep.timed("tier-1 coding") as st:
         with pytest.raises(TypeError):
             st.add_work(bad="not-a-number")
+
+
+# ---------------------------------------------------------------------------
+# Sampling profiler
+# ---------------------------------------------------------------------------
+
+
+def _burn(deadline: float) -> int:
+    """Pure-Python busy loop the sampler can catch red-handed."""
+    acc = 0
+    while time.perf_counter() < deadline:
+        for i in range(500):
+            acc += i * i
+    return acc
+
+
+class TestSamplingProfiler:
+    def test_lazy_export_from_obs_package(self):
+        import repro.obs as obs
+        from repro.obs.profile import SamplingProfiler as direct
+
+        assert obs.SamplingProfiler is direct
+        with pytest.raises(AttributeError):
+            obs.not_a_real_export
+
+    def test_frame_key_and_idle_classification(self):
+        from repro.obs.profile import frame_key, is_idle_frame
+
+        frame = sys._getframe()
+        key = frame_key(frame)
+        assert key.endswith(":TestSamplingProfiler.test_frame_key_and_idle_classification") or key.endswith(
+            ":test_frame_key_and_idle_classification"
+        )
+        assert "test_obs.py" in key
+        assert is_idle_frame("lib/threading.py:Condition.wait")
+        assert is_idle_frame("concurrent/futures/_base.py:Future.result")
+        assert not is_idle_frame("repro/ebcot.py:_cleanup_pass")
+
+    def test_span_attribution_and_top_functions(self):
+        from repro.obs.profile import SamplingProfiler
+
+        tr = Tracer()
+        prof = SamplingProfiler(tr, hz=400.0)
+        with prof:
+            with tr.span("hot-span"):
+                _burn(time.perf_counter() + 0.4)
+        assert prof.n_samples > 0
+        by_span = prof.by_span()
+        assert by_span, "sampler saw no threads"
+        # The busy loop dominates; it ran entirely inside "hot-span".
+        assert "hot-span" in by_span
+        top = prof.top_functions(5)
+        assert any("_burn" in func for func, _, _ in top)
+        hot = prof.span_functions("hot-span", 5)
+        assert any("_burn" in func for func, _ in hot)
+        fracs = [frac for _, _, frac in top]
+        assert all(0.0 < f <= 1.0 for f in fracs)
+        assert "sampling tick" in prof.summary()
+
+    def test_active_name_tracks_span_stack(self):
+        tr = Tracer()
+        ident = threading.get_ident()
+        assert tr.active_name(ident) is None
+        with tr.span("outer"):
+            assert tr.active_name(ident) == "outer"
+            with tr.span("inner"):
+                assert tr.active_name(ident) == "inner"
+            assert tr.active_name(ident) == "outer"
+        assert tr.active_name(ident) is None
+
+    def test_function_sampler_table_is_picklable(self):
+        import pickle
+
+        from repro.obs.profile import FunctionSampler
+
+        worker = threading.Thread(
+            target=_burn, args=(time.perf_counter() + 0.3,)
+        )
+        sampler = FunctionSampler(hz=400.0, span="kernel-x")
+        with sampler:
+            worker.start()
+            worker.join()
+        table = pickle.loads(pickle.dumps(sampler.table()))
+        assert table["span"] == "kernel-x"
+        assert table["n_samples"] > 0
+        assert isinstance(table["counts"], dict)
+
+    def test_chrome_trace_merges_profile_samples(self):
+        from repro.obs.export import PID_PROFILE
+        from repro.obs.profile import SamplingProfiler
+
+        tr = Tracer()
+        prof = SamplingProfiler(tr, hz=400.0)
+        with prof:
+            with tr.span("hot-span"):
+                _burn(time.perf_counter() + 0.3)
+        doc = chrome_trace(tr, profile=prof)
+        samples = [
+            e for e in doc["traceEvents"]
+            if e["pid"] == PID_PROFILE and e["ph"] == "I"
+        ]
+        assert samples
+        assert all(e["cat"] == "sample" and "span" in e["args"] for e in samples)
+        # Plain export is unchanged when no profiler is passed.
+        assert all(
+            e["pid"] != PID_PROFILE for e in chrome_trace(tr)["traceEvents"]
+        )
+
+    def test_lifecycle_guards(self):
+        from repro.obs.profile import FunctionSampler, SamplingProfiler
+
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+        with pytest.raises(ValueError):
+            FunctionSampler(hz=-1.0)
+        prof = SamplingProfiler(hz=50.0)
+        prof.start()
+        with pytest.raises(RuntimeError):
+            prof.start()
+        prof.stop()
+        prof.stop()  # idempotent
+
+    def test_processes_backend_ships_sample_tables(self, small_image, process_backend):
+        from repro.obs.profile import SamplingProfiler
+
+        res = encode_image(small_image, CodecParams(levels=2, cb_size=16))
+        tr = Tracer()
+        prof = SamplingProfiler(tr, hz=300.0)
+        prof.attach(process_backend)
+        try:
+            with prof:
+                decode_image(
+                    res.data, n_workers=2, backend=process_backend, tracer=tr
+                )
+        finally:
+            prof.detach()
+        assert process_backend.profile_hz is None  # detached again
+        assert not process_backend.drain_profile_samples()  # drained
+        assert prof.worker_tables, "workers must ship sample tables"
+        for table in prof.worker_tables:
+            assert table["n_samples"] >= 0
+            assert isinstance(table["counts"], dict)
+        # Shipped samples land in the merged view under "(worker)" spans.
+        assert any(s.endswith("(worker)") for s in prof.by_span())
 
 
 # ---------------------------------------------------------------------------
