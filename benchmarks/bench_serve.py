@@ -1,0 +1,71 @@
+"""Import discipline of the service layer (DESIGN.md sec. 12).
+
+The promise enforced here: ``repro.serve`` (and with it asyncio's
+server machinery and the warm-pool executors) is strictly opt-in.  A
+library user doing a plain -- even traced, even parallel -- encode or
+decode must never pull the service layer into their process;
+``repro.__getattr__`` resolves the ``serve`` attribute lazily and
+nothing on the codec path may import it eagerly.  A second probe pins
+the opposite direction: importing ``repro.serve`` *does* work on demand
+and exposes the server entry points.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+_FORBIDDEN = ("repro.serve",)
+
+
+def _run(probe: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True, text=True, env={"PYTHONPATH": str(SRC)},
+    )
+
+
+def test_bench_serve_is_never_imported_on_normal_path(benchmark):
+    """Fresh interpreter: ``import repro`` + traced parallel encode and
+    decode, then verify the service layer was never pulled in."""
+    probe = (
+        "import sys\n"
+        "import repro\n"
+        "from repro.codec import CodecParams, decode_image, encode_image\n"
+        "from repro.image import SyntheticSpec, synthetic_image\n"
+        "from repro.obs import Tracer\n"
+        "img = synthetic_image(SyntheticSpec(64, 64, 'mix', seed=3))\n"
+        "res = encode_image(img, CodecParams(levels=3, cb_size=32),\n"
+        "                   tracer=Tracer(), n_workers=2)\n"
+        "decode_image(res.data, tracer=Tracer(), n_workers=2)\n"
+        f"bad = [m for m in sys.modules if m.startswith({_FORBIDDEN!r})]\n"
+        "assert not bad, f'normal codec path imported {bad}'\n"
+        "print('clean')\n"
+    )
+
+    out = benchmark.pedantic(lambda: _run(probe), rounds=1, iterations=1)
+    assert out.returncode == 0, out.stderr
+    assert "clean" in out.stdout
+
+
+def test_bench_serve_lazy_attribute_resolves(benchmark):
+    """The flip side: ``repro.serve`` must resolve on demand (lazy
+    ``__getattr__``) and expose the server API."""
+    probe = (
+        "import sys\n"
+        "import repro\n"
+        "assert 'repro.serve' not in sys.modules\n"
+        "serve = repro.serve\n"
+        "assert 'repro.serve' in sys.modules\n"
+        "assert serve.CodecServer is not None\n"
+        "assert serve.ServeConfig is not None\n"
+        "print('lazy-ok')\n"
+    )
+
+    out = benchmark.pedantic(lambda: _run(probe), rounds=1, iterations=1)
+    assert out.returncode == 0, out.stderr
+    assert "lazy-ok" in out.stdout

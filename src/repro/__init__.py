@@ -54,6 +54,20 @@ from .obs import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    # Lazy submodule: the service layer pulls in asyncio + executor
+    # machinery and must never ride along on a plain encode/decode
+    # (benchmarks/bench_serve.py probes this in a fresh interpreter).
+    if name == "serve":
+        import importlib
+
+        module = importlib.import_module(".serve", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "SyntheticSpec",
     "synthetic_image",

@@ -9,6 +9,7 @@ on the normal encode/decode path.
 from .compare import ComparePolicy, ComparisonResult, Delta, compare_runs
 from .report import render_report
 from .scenarios import (
+    PoolCache,
     Scenario,
     default_suite,
     run_scenario,
@@ -37,6 +38,7 @@ __all__ = [
     "ComparePolicy",
     "ComparisonResult",
     "Delta",
+    "PoolCache",
     "Scenario",
     "ScenarioResult",
     "TrajectoryRun",

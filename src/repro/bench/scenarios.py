@@ -30,6 +30,7 @@ from ..obs import Tracer, amdahl_report
 from .trajectory import ScenarioResult, TrajectoryRun, environment_fingerprint
 
 __all__ = [
+    "PoolCache",
     "Scenario",
     "default_suite",
     "run_scenario",
@@ -109,6 +110,48 @@ def default_suite(quick: bool = False) -> List[Scenario]:
     return suite
 
 
+class PoolCache:
+    """One warm execution backend per ``(backend, workers)`` cell.
+
+    Scenario runs used to build (and tear down) a fresh pool each --
+    which put process-pool spin-up inside the measured window and made
+    BENCH medians partly a fork benchmark.  A suite-scoped cache hands
+    every scenario of the same cell the same warm pool; ``creations``
+    counts actual constructions so the regression test can pin
+    "one pool per cell" down.  ``wrap_backend`` (chaos wrappers, race
+    detectors) is applied once at construction, so persistent fault
+    schedules survive across scenarios exactly as they did per-run.
+    """
+
+    def __init__(self, wrap_backend: Optional[Callable[[Any], Any]] = None) -> None:
+        self.wrap_backend = wrap_backend
+        self._pools: Dict[Any, Any] = {}
+        self.creations = 0
+
+    def get(self, backend_name: str, workers: int):
+        key = (backend_name, int(workers))
+        if key not in self._pools:
+            if self.wrap_backend is None:
+                self._pools[key] = get_backend(backend_name, workers)
+            else:
+                self._pools[key] = self.wrap_backend(
+                    get_backend(backend_name, workers)
+                )
+            self.creations += 1
+        return self._pools[key]
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    def __enter__(self) -> "PoolCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def scenario_image(side: int):
     """The deterministic input image every scenario of ``side`` shares."""
     return synthetic_image(SyntheticSpec(side, side, "mix", seed=0))
@@ -152,8 +195,17 @@ def run_scenario(
     repeats: int = 3,
     profile: bool = True,
     wrap_backend: Optional[Callable[[Any], Any]] = None,
+    pools: Optional[PoolCache] = None,
 ) -> ScenarioResult:
-    """Measure one scenario: ``repeats`` timed runs + stage breakdowns."""
+    """Measure one scenario: ``repeats`` timed runs + stage breakdowns.
+
+    With ``pools`` the scenario borrows the suite's warm backend for
+    its ``(backend, workers)`` cell (the cache applies its own wrap
+    hook and owns the close); without it a private pool is built and
+    torn down here, wrapped by ``wrap_backend``.  Either way one
+    untimed warmup runs first so the timed repeats never measure pool
+    spin-up or cold caches.
+    """
     if scenario.op not in ("encode", "decode"):
         raise ValueError(f"unknown scenario op {scenario.op!r}")
     if repeats < 1:
@@ -164,10 +216,16 @@ def run_scenario(
     result = ScenarioResult(
         name=scenario.name, spec=scenario.spec(repeats)
     )
-    backend = get_backend(scenario.backend, scenario.workers)
-    if wrap_backend is not None:
-        backend = wrap_backend(backend)
+    if pools is not None:
+        backend = pools.get(scenario.backend, scenario.workers)
+        owned = False
+    else:
+        backend = get_backend(scenario.backend, scenario.workers)
+        if wrap_backend is not None:
+            backend = wrap_backend(backend)
+        owned = True
     try:
+        _run_op(scenario, image, params, encoded, backend, None)  # warmup
         last_tracer = None
         for _ in range(repeats):
             tracer = Tracer()  # repro: noqa[obs-zero-cost] -- measurement harness
@@ -190,7 +248,8 @@ def run_scenario(
                 scenario, image, params, encoded, backend
             )
     finally:
-        backend.close()
+        if owned:
+            backend.close()
     return result
 
 
@@ -205,9 +264,10 @@ def run_suite(
 ) -> TrajectoryRun:
     """Run the scenario suite and assemble a :class:`TrajectoryRun`.
 
-    ``wrap_backend(backend) -> backend`` decorates every scenario's
-    execution backend (chaos wrappers, race detectors); the wrapper is
-    closed through the scenario's own ``close()``.
+    ``wrap_backend(backend) -> backend`` decorates every warm pool once
+    at construction (chaos wrappers, race detectors); pools are shared
+    per ``(backend, workers)`` cell across the whole suite and closed
+    when the suite finishes.
     """
     if scenarios is None:
         scenarios = default_suite(quick)
@@ -219,15 +279,15 @@ def run_suite(
         created=time.time(),
         environment=environment_fingerprint(),
     )
-    for scenario in scenarios:
-        if progress is not None:
-            progress(f"bench: {scenario.name} (x{repeats})")
-        run.scenarios.append(
-            run_scenario(
-                scenario, repeats=repeats, profile=profile,
-                wrap_backend=wrap_backend,
+    with PoolCache(wrap_backend) as pools:
+        for scenario in scenarios:
+            if progress is not None:
+                progress(f"bench: {scenario.name} (x{repeats})")
+            run.scenarios.append(
+                run_scenario(
+                    scenario, repeats=repeats, profile=profile, pools=pools,
+                )
             )
-        )
     _fill_speedups(run)
     return run
 

@@ -328,6 +328,7 @@ def append_experiment(
     seconds: float,
     rows: Optional[List[Dict[str, Any]]] = None,
     checks_passed: Optional[bool] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Append one experiment timing to a trajectory-schema file.
 
@@ -337,7 +338,9 @@ def append_experiment(
     ``experiment:`` so ``repro bench report`` renders them alongside the
     canonical scenarios.  The file is created on first use and appended
     (read-modify-write) after; one pytest-benchmark session is serial,
-    so no locking is needed.
+    so no locking is needed.  ``extra`` merges arbitrary JSON-able
+    detail (e.g. the serve load report's percentile block) into the
+    scenario's ``extra`` mapping.
     """
     path = Path(path)
     if path.exists():
@@ -358,6 +361,8 @@ def append_experiment(
         scenario.extra["rows"] = rows
     if checks_passed is not None:
         scenario.extra["checks_passed"] = bool(checks_passed)
+    if extra:
+        scenario.extra.update(extra)
     # Re-running the same experiment in one session accumulates repeats.
     existing = run.scenario(scenario.name)
     if existing is not None:

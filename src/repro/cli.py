@@ -19,6 +19,11 @@ Usage::
     python -m repro bench run [--quick] [--dir D] [--label TEXT]
     python -m repro bench compare [--tolerant] [--baseline FILE]
     python -m repro bench report [-o REPORT.md]
+    python -m repro serve run [--host H] [--port P] [--backend threads]
+                    [--workers N] [--pools K] [--queue-depth D]
+    python -m repro serve bench --rate 50 --duration 5 [--tcp]
+                    [--deadline S] [--report FILE] [--bench-json FILE]
+                    [--require-clean]
 
 ``encode``/``decode`` also take ``--trace`` to print the per-stage
 breakdown (Fig. 3) of that one run; ``trace`` is the full-featured
@@ -414,6 +419,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
 
     from .bench import (
         ComparePolicy,
+        PoolCache,
         Scenario,
         TrajectoryRun,
         compare_runs,
@@ -452,15 +458,16 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         label="compare",
         environment=environment_fingerprint(),
     )
-    for base_sc in gate_scenarios:
-        scenario = Scenario.from_spec(base_sc.spec)
-        repeats = int(base_sc.spec.get("repeats", 3))
-        print(f"bench: {scenario.name} (x{repeats})")
-        current.scenarios.append(
-            run_scenario(
-                scenario, repeats=repeats, profile=False, wrap_backend=wrap
+    with PoolCache(wrap) as pools:
+        for base_sc in gate_scenarios:
+            scenario = Scenario.from_spec(base_sc.spec)
+            repeats = int(base_sc.spec.get("repeats", 3))
+            print(f"bench: {scenario.name} (x{repeats})")
+            current.scenarios.append(
+                run_scenario(
+                    scenario, repeats=repeats, profile=False, pools=pools
+                )
             )
-        )
     policy = ComparePolicy()
     if args.tolerant:
         policy = policy.tolerant()
@@ -483,6 +490,129 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output} ({len(runs)} run(s))")
     else:
         print(text, end="")
+    return 0
+
+
+def _serve_config_from_args(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        backend=args.backend or "threads",
+        workers=args.workers,
+        pools=args.pools,
+        queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        default_deadline=args.default_deadline,
+        supervision=_policy_from_args(args),
+    )
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    """Start the TCP/JSON-lines codec server; run until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from .obs import MetricsRegistry
+    from .serve import CodecServer
+
+    config = _serve_config_from_args(args)
+    metrics = MetricsRegistry()
+
+    async def main_async() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        server = CodecServer(config, metrics=metrics)
+        await server.start()
+        try:
+            host, port = await server.serve_tcp(args.host, args.port)
+            print(
+                f"serving on {host}:{port} (backend={config.backend}, "
+                f"workers={config.workers}, pools={config.pools}, "
+                f"queue_depth={config.queue_depth}, "
+                f"max_batch={config.max_batch})"
+            )
+            await stop.wait()
+        finally:
+            await server.stop()
+        for name, rep in server.pool_reports():
+            if not rep.clean:
+                print(f"pool {name}: {rep.summary()}")
+        print(metrics.to_prometheus(), end="")
+
+    asyncio.run(main_async())
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Open-loop load run against a fresh server; percentile report."""
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from .obs import MetricsRegistry
+    from .serve import (
+        CodecServer,
+        InProcessTarget,
+        LoadSpec,
+        TcpTarget,
+        Workload,
+        run_load,
+    )
+
+    config = _serve_config_from_args(args)
+    spec = LoadSpec(
+        rate=args.rate, duration=args.duration, op=args.op, side=args.side,
+        n_images=args.images, seed=args.seed, deadline=args.deadline,
+        levels=args.levels, cb_size=args.cb_size,
+    )
+    # Build inputs + direct-call references before any clock starts, so
+    # the measured window is pure serving.
+    workload = Workload(spec)
+    metrics = MetricsRegistry()
+
+    async def main_async():
+        server = CodecServer(config, metrics=metrics)
+        await server.start()
+        target = None
+        try:
+            if args.tcp:
+                host, port = await server.serve_tcp("127.0.0.1", 0)
+                target = await TcpTarget(host, port).open()
+            else:
+                target = InProcessTarget(server)
+            load_report = await run_load(target, spec, workload=workload)
+            pool_reports = server.pool_reports()
+        finally:
+            if target is not None:
+                await target.close()
+            await server.stop()
+        return load_report, pool_reports
+
+    report, pool_reports = asyncio.run(main_async())
+    print(report.summary())
+    for name, rep in pool_reports:
+        if not rep.clean:
+            print(f"pool {name}: {rep.summary()}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+    if args.bench_json:
+        path = report.append_to_trajectory(Path(args.bench_json))
+        print(f"appended serve experiment to {path}")
+    if args.require_clean and not report.clean:
+        print(
+            f"NOT CLEAN: {report.shed} shed, {report.errors} error(s), "
+            f"{report.mismatches} byte-mismatch(es)"
+        )
+        return 1
     return 0
 
 
@@ -795,6 +925,71 @@ def build_parser() -> argparse.ArgumentParser:
             "--dir", default=".", metavar="DIR",
             help="directory holding the BENCH_NNNN.json files (default: .)",
         )
+
+    srv = sub.add_parser(
+        "serve",
+        help="codec service layer: async batch server + load generator",
+    )
+    srv_sub = srv.add_subparsers(dest="serve_command", required=True)
+    srun = srv_sub.add_parser(
+        "run", help="start the TCP/JSON-lines server (SIGINT/SIGTERM stops)"
+    )
+    srun.add_argument("--host", default="127.0.0.1")
+    srun.add_argument("--port", type=int, default=8712)
+    srun.set_defaults(fn=_cmd_serve_run)
+    sbn = srv_sub.add_parser(
+        "bench",
+        help="open-loop load run; latency percentiles + throughput report",
+    )
+    sbn.add_argument("--rate", type=float, default=50.0, help="arrivals/s")
+    sbn.add_argument("--duration", type=float, default=5.0, help="seconds of arrivals")
+    sbn.add_argument("--op", choices=("encode", "decode"), default="encode")
+    sbn.add_argument("--side", type=int, default=32, help="synthetic image side")
+    sbn.add_argument("--images", type=int, default=4, help="distinct seeded inputs")
+    sbn.add_argument("--seed", type=int, default=0)
+    sbn.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request budget (queueing + service)",
+    )
+    sbn.add_argument("--levels", type=int, default=2)
+    sbn.add_argument("--cb-size", type=int, default=16)
+    sbn.add_argument(
+        "--tcp", action="store_true",
+        help="drive the TCP front door over loopback instead of submit()",
+    )
+    sbn.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the full JSON report (per-request samples included)",
+    )
+    sbn.add_argument(
+        "--bench-json", default=None, metavar="FILE",
+        help="append an experiment row to this trajectory-schema file",
+    )
+    sbn.add_argument(
+        "--require-clean", action="store_true",
+        help="exit 1 on any shed/error/byte-mismatch (CI smoke bar)",
+    )
+    sbn.set_defaults(fn=_cmd_serve_bench)
+    for p in (srun, sbn):
+        from .core.backend import BACKEND_NAMES
+
+        p.add_argument(
+            "--backend", choices=BACKEND_NAMES, default="threads",
+            help="execution backend of every warm pool",
+        )
+        p.add_argument("--workers", type=int, default=2,
+                       help="workers per warm pool")
+        p.add_argument("--pools", type=int, default=2,
+                       help="warm pools (= concurrent batches)")
+        p.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue cap; beyond it requests shed")
+        p.add_argument("--max-batch", type=int, default=4,
+                       help="requests batched per pool dispatch")
+        p.add_argument("--batch-window", type=float, default=0.0,
+                       help="seconds to wait for stragglers per batch")
+        p.add_argument("--default-deadline", type=float, default=None,
+                       help="budget for requests without their own")
+        _add_supervision_args(p)
     return ap
 
 

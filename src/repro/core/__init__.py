@@ -33,6 +33,7 @@ from .backend import (
 )
 from .supervise import (
     DEGRADATION_LADDER,
+    DeadlineExpired,
     SupervisedBackend,
     SupervisionError,
     SupervisionEvent,
@@ -60,6 +61,7 @@ from .study import (
 __all__ = [
     "BACKEND_NAMES",
     "DEGRADATION_LADDER",
+    "DeadlineExpired",
     "ExecutionBackend",
     "SupervisedBackend",
     "SupervisionError",

@@ -40,6 +40,7 @@ from .backend import Attempt, ExecutionBackend, get_backend
 
 __all__ = [
     "DEGRADATION_LADDER",
+    "DeadlineExpired",
     "SupervisedBackend",
     "SupervisionError",
     "SupervisionEvent",
@@ -55,6 +56,15 @@ DEGRADATION_LADDER = ("processes", "threads", "serial")
 
 class SupervisionError(RuntimeError):
     """Supervision exhausted every retry (and rung) with units unrun."""
+
+
+class DeadlineExpired(SupervisionError):
+    """The call-level deadline passed with work still pending.
+
+    Raised *before* dispatching another attempt, so callers with an
+    already-expired budget fail fast instead of burning a pool slot.
+    The serve layer maps this onto a ``Rejected("deadline")`` reply.
+    """
 
 
 @dataclass(frozen=True)
@@ -90,7 +100,7 @@ class SupervisionPolicy:
 class SupervisionEvent:
     """One thing the supervisor did or observed."""
 
-    kind: str  # retry | rebuild | degrade | timeout | worker-death | kernel-error | give-up
+    kind: str  # retry | rebuild | degrade | timeout | deadline | worker-death | kernel-error | give-up
     op: str  # sweep | map
     backend: str  # ladder name of the rung at the time
     detail: str = ""
@@ -163,6 +173,7 @@ class SupervisedBackend(ExecutionBackend):
         report: Optional[SupervisionReport] = None,
         metrics=None,
         owns_inner: bool = True,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         super().__init__(inner.n_workers)
         self.inner = inner
@@ -170,6 +181,14 @@ class SupervisedBackend(ExecutionBackend):
         self.report = report if report is not None else SupervisionReport()
         self.metrics = metrics
         self.owns_inner = owns_inner
+        self.clock = clock
+        #: Absolute deadline (on ``clock``) for the *current* call, or
+        #: ``None``.  Mutable on purpose: a warm wrapper serves many
+        #: requests, each with its own budget -- set it before a call,
+        #: clear it after.  Expiry raises :class:`DeadlineExpired`
+        #: before dispatching the next attempt; a live deadline also
+        #: caps each attempt's phase timeout to the remaining budget.
+        self.call_deadline: Optional[float] = None
         self._rung: ExecutionBackend = inner
         self._created: List[ExecutionBackend] = []
         self.report.final_backend = _ladder_name(inner)
@@ -255,7 +274,23 @@ class SupervisedBackend(ExecutionBackend):
         retries_left = policy.max_retries
         retry_index = 0
         while True:
-            att = run(self._rung, list(pending), policy.phase_timeout)
+            timeout = policy.phase_timeout
+            if self.call_deadline is not None:
+                remaining = self.call_deadline - self.clock()
+                if remaining <= 0:
+                    self._event(
+                        "deadline", op, "timeouts",
+                        f"call deadline expired pre-dispatch "
+                        f"({len(pending)} unit(s) pending)",
+                    )
+                    self.report.final_backend = _ladder_name(self._rung)
+                    self._stamp(ph, before)
+                    raise DeadlineExpired(
+                        f"{op}: call deadline expired with "
+                        f"{len(pending)} unit(s) pending"
+                    )
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            att = run(self._rung, list(pending), timeout)
             for key in att.done:
                 pending.pop(key, None)
                 failures.pop(key, None)
@@ -273,7 +308,7 @@ class SupervisedBackend(ExecutionBackend):
                 self._event(kind, op, "worker_deaths", att.broken)
             if att.timed_out:
                 self._event("timeout", op, "timeouts",
-                            f"deadline {policy.phase_timeout}s expired")
+                            f"deadline {timeout}s expired")
             if not pending:
                 break
             if att.broken is not None or att.timed_out:
@@ -396,10 +431,12 @@ def supervised(
     report: Optional[SupervisionReport] = None,
     metrics=None,
     owns_inner: bool = True,
+    clock: Callable[[], float] = time.monotonic,
 ) -> SupervisedBackend:
     """Wrap ``backend`` (idempotent: an already-supervised backend is
     returned unchanged, adopting nothing)."""
     if isinstance(backend, SupervisedBackend):
         return backend
     return SupervisedBackend(backend, policy=policy, report=report,
-                             metrics=metrics, owns_inner=owns_inner)
+                             metrics=metrics, owns_inner=owns_inner,
+                             clock=clock)

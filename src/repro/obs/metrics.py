@@ -97,6 +97,30 @@ class Histogram:
             if value <= bound:
                 self.bucket_counts[i] += 1
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate, ``histogram_quantile``
+        style: linear interpolation inside the first bucket whose
+        cumulative count reaches rank ``q * count``, the highest finite
+        bucket bound when the rank lands in the ``+Inf`` overflow, and
+        NaN for an empty histogram.  Accuracy is bounded by the bucket
+        grid -- size the buckets to the latencies you care about."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        prev_cum = 0
+        prev_bound = 0.0
+        for bound, cum in zip(self.buckets, self.bucket_counts):
+            if cum >= rank:
+                if cum == prev_cum:
+                    return bound
+                frac = (rank - prev_cum) / (cum - prev_cum)
+                return prev_bound + frac * (bound - prev_bound)
+            prev_cum = cum
+            prev_bound = bound
+        return self.buckets[-1]
+
     def samples(self) -> List[Tuple[str, str, float]]:
         out: List[Tuple[str, str, float]] = []
         for bound, n in zip(self.buckets, self.bucket_counts):

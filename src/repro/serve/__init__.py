@@ -1,0 +1,82 @@
+"""Codec service layer: admission-controlled async batch serving.
+
+The bridge from library to service (ROADMAP item 1): a
+:class:`CodecServer` accepts encode/decode jobs in-process
+(``await server.submit(...)``) or over a TCP/JSON-lines front door,
+applies admission control (bounded queue, per-request deadlines,
+explicit :class:`Rejected` sheds), batches work onto long-lived
+supervised backend pools, and answers every admitted request exactly
+once with bytes identical to a direct ``encode_image``/``decode_image``
+call.  ``repro serve run`` starts a server; ``repro serve bench`` drives
+the deterministic open-loop load generator and reports latency
+percentiles + throughput.
+
+Import discipline: this package is *never* imported by the plain
+encode/decode path (``repro.__getattr__`` resolves it lazily, and
+``benchmarks/bench_serve.py`` holds a fresh-interpreter probe to keep
+it that way) -- asyncio and the executor machinery stay out of library
+users' processes.
+"""
+
+from __future__ import annotations
+
+from .admission import (
+    DEADLINE,
+    QUEUE_FULL,
+    SHED_REASONS,
+    SHUTDOWN,
+    AdmissionQueue,
+    Completed,
+    Failed,
+    Rejected,
+    Request,
+)
+from .batching import PoolSet, WarmPool, execute_batch, execute_request
+from .loadgen import (
+    InProcessTarget,
+    LoadSpec,
+    TcpTarget,
+    Workload,
+    arrival_offsets,
+    run_load,
+)
+from .report import LoadReport, LoadSample, percentile
+from .server import (
+    CodecServer,
+    ServeConfig,
+    image_from_wire,
+    image_to_wire,
+    params_from_wire,
+    wire_reply,
+)
+
+__all__ = [
+    "DEADLINE",
+    "QUEUE_FULL",
+    "SHED_REASONS",
+    "SHUTDOWN",
+    "AdmissionQueue",
+    "CodecServer",
+    "Completed",
+    "Failed",
+    "InProcessTarget",
+    "LoadReport",
+    "LoadSample",
+    "LoadSpec",
+    "PoolSet",
+    "Rejected",
+    "Request",
+    "ServeConfig",
+    "TcpTarget",
+    "WarmPool",
+    "Workload",
+    "arrival_offsets",
+    "execute_batch",
+    "execute_request",
+    "image_from_wire",
+    "image_to_wire",
+    "params_from_wire",
+    "percentile",
+    "run_load",
+    "wire_reply",
+]

@@ -1,0 +1,201 @@
+"""Admission control: bounded queue, per-request deadlines, explicit sheds.
+
+The service promise is *fail explicitly, fail cheaply*: a request the
+server cannot finish in time is answered with a :class:`Rejected`
+result the moment that becomes knowable -- at the queue door when the
+depth cap is hit or the deadline has already passed, at dequeue time
+when it expired while waiting, and pre-dispatch inside the supervision
+loop (:class:`~repro.core.supervise.DeadlineExpired`) when the budget
+runs out mid-service.  Nothing times out silently and nothing crashes
+the caller; load past capacity degrades into sheds, not latency.
+
+:class:`AdmissionQueue` is a plain thread-safe FIFO (the asyncio server
+drains it from the event loop but offers may come from any thread via
+``submit``'s synchronous front half), deliberately clock-injected so
+the deterministic tests drive expiry with a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+__all__ = [
+    "DEADLINE",
+    "QUEUE_FULL",
+    "SHUTDOWN",
+    "AdmissionQueue",
+    "Completed",
+    "Failed",
+    "Rejected",
+    "Request",
+    "SHED_REASONS",
+]
+
+#: Shed reasons (``Rejected.reason`` values; one counter per reason).
+QUEUE_FULL = "queue-full"
+DEADLINE = "deadline"
+SHUTDOWN = "shutdown"
+SHED_REASONS = (QUEUE_FULL, DEADLINE, SHUTDOWN)
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """The server explicitly declined to serve the request."""
+
+    reason: str  # one of SHED_REASONS
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Completed:
+    """The request was served; ``value`` is the codec result payload."""
+
+    value: Any
+    queue_wait: float = 0.0
+    service_seconds: float = 0.0
+    batch_size: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Failed:
+    """The codec raised; the error is reported, the server lives on."""
+
+    error: BaseException
+    queue_wait: float = 0.0
+    service_seconds: float = 0.0
+    batch_size: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass
+class Request:
+    """One admitted (or about-to-be-admitted) encode/decode job.
+
+    ``deadline`` is *absolute* on the server clock (``None`` = no
+    budget); ``enqueued`` is stamped by the queue at admission so wait
+    time is measured by the same clock that decides expiry.
+    """
+
+    id: int
+    op: str  # "encode" | "decode"
+    payload: Any  # image array (encode) | codestream bytes (decode)
+    params: Any = None  # CodecParams for encode; decode kwargs dict for decode
+    deadline: Optional[float] = None
+    enqueued: float = 0.0
+    future: Any = field(default=None, repr=False)  # asyncio.Future, server-owned
+
+
+class AdmissionQueue:
+    """Bounded FIFO with deadline shedding; every exit is explicit.
+
+    ``offer`` returns ``None`` on admission or the :class:`Rejected`
+    verdict (queue full / already expired / shutting down) -- the
+    caller resolves the request immediately, so a shed costs one queue
+    lock, never a pool slot.  ``take`` dequeues up to ``max_batch``
+    live requests and *separately* returns everything that expired
+    while queued, in arrival order, so the server can answer those
+    first (deadline-expiry ordering: a request never outlives its
+    budget just because fresher work arrived behind it).
+    """
+
+    def __init__(self, depth: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth_cap = depth
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._items: Deque[Request] = deque()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def offer(self, request: Request) -> Optional[Rejected]:
+        """Admit ``request`` (returns ``None``) or say exactly why not."""
+        now = self.clock()
+        with self._lock:
+            if self._closed:
+                return Rejected(SHUTDOWN, "server is stopping")
+            if request.deadline is not None and now >= request.deadline:
+                return Rejected(
+                    DEADLINE,
+                    f"deadline passed {now - request.deadline:.3f}s "
+                    "before admission",
+                )
+            if len(self._items) >= self.depth_cap:
+                return Rejected(
+                    QUEUE_FULL,
+                    f"admission queue at depth cap {self.depth_cap}",
+                )
+            request.enqueued = now
+            self._items.append(request)
+            return None
+
+    def shed_expired(self) -> List[Tuple[Request, Rejected]]:
+        """Remove every queued request whose deadline passed (arrival
+        order preserved)."""
+        now = self.clock()
+        shed: List[Tuple[Request, Rejected]] = []
+        with self._lock:
+            keep: Deque[Request] = deque()
+            for req in self._items:
+                if req.deadline is not None and now >= req.deadline:
+                    shed.append((req, Rejected(
+                        DEADLINE,
+                        f"expired after {now - req.enqueued:.3f}s queued",
+                    )))
+                else:
+                    keep.append(req)
+            self._items = keep
+        return shed
+
+    def take(self, max_batch: int) -> Tuple[List[Request], List[Tuple[Request, Rejected]]]:
+        """Dequeue up to ``max_batch`` live requests plus the expired
+        ones encountered on the way (always shed, never served)."""
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        now = self.clock()
+        batch: List[Request] = []
+        shed: List[Tuple[Request, Rejected]] = []
+        with self._lock:
+            while self._items and len(batch) < max_batch:
+                req = self._items.popleft()
+                if req.deadline is not None and now >= req.deadline:
+                    shed.append((req, Rejected(
+                        DEADLINE,
+                        f"expired after {now - req.enqueued:.3f}s queued",
+                    )))
+                else:
+                    batch.append(req)
+        return batch, shed
+
+    def close(self) -> List[Tuple[Request, Rejected]]:
+        """Refuse new offers and drain the backlog as shutdown sheds."""
+        with self._lock:
+            self._closed = True
+            drained = [(req, Rejected(SHUTDOWN, "server stopped while queued"))
+                       for req in self._items]
+            self._items.clear()
+        return drained

@@ -1,0 +1,305 @@
+"""Deterministic open-loop load generator for the codec server.
+
+Open-loop means arrivals follow the schedule, not the server: request
+``i`` is launched at ``i / rate`` seconds after the run starts whether
+or not earlier requests have been answered, so an overloaded server
+shows up as queue growth and sheds (exactly what admission control is
+for) instead of the generator politely slowing down.
+
+Everything that decides *what* is sent is seeded and precomputed:
+:class:`Workload` builds ``n_images`` synthetic inputs and their
+direct-call reference results up front, so every reply can be checked
+byte-for-byte against what ``encode_image``/``decode_image`` would have
+produced without the server in the way.  The wall-clock side (actual
+arrival jitter, latencies) is real time by nature -- the deterministic
+soak tests in ``tests/test_serve.py`` instead drive the admission and
+batching layers with fake clocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import itertools
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..codec import CodecParams, decode_image, encode_image
+from ..image import SyntheticSpec, synthetic_image
+from .admission import Completed, Failed, Rejected
+from .report import LoadReport, LoadSample
+from .server import CodecServer, image_from_wire, image_to_wire
+
+__all__ = [
+    "InProcessTarget",
+    "LoadSpec",
+    "TcpTarget",
+    "Workload",
+    "arrival_offsets",
+    "run_load",
+]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load run: open-loop arrivals at ``rate`` req/s for
+    ``duration`` seconds, cycling over ``n_images`` seeded inputs."""
+
+    rate: float = 50.0
+    duration: float = 5.0
+    op: str = "encode"  # "encode" | "decode"
+    side: int = 32
+    n_images: int = 4
+    seed: int = 0
+    deadline: Optional[float] = None  # relative budget per request
+    levels: int = 2
+    cb_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.op not in ("encode", "decode"):
+            raise ValueError(f"op must be 'encode' or 'decode', not {self.op!r}")
+        if self.n_images < 1:
+            raise ValueError("need at least one image")
+
+    @property
+    def n_requests(self) -> int:
+        return max(1, int(round(self.rate * self.duration)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rate": self.rate, "duration": self.duration, "op": self.op,
+            "side": self.side, "n_images": self.n_images, "seed": self.seed,
+            "deadline": self.deadline, "levels": self.levels,
+            "cb_size": self.cb_size, "n_requests": self.n_requests,
+        }
+
+
+def arrival_offsets(spec: LoadSpec) -> List[float]:
+    """Deterministic arrival schedule: request ``i`` at ``i/rate`` s."""
+    return [i / spec.rate for i in range(spec.n_requests)]
+
+
+class Workload:
+    """Seeded inputs plus their direct-call reference results.
+
+    The references are the byte-identity oracle: a served encode must
+    equal ``encode_image(image, params).data`` exactly, a served decode
+    must equal ``decode_image(encoded)`` array-for-array.
+    """
+
+    def __init__(self, spec: LoadSpec) -> None:
+        self.spec = spec
+        self.params = CodecParams(
+            levels=spec.levels, cb_size=spec.cb_size, base_step=1 / 64
+        )
+        self.images = [
+            synthetic_image(
+                SyntheticSpec(spec.side, spec.side, "mix", seed=spec.seed + i)
+            )
+            for i in range(spec.n_images)
+        ]
+        self.encoded = [
+            encode_image(img, self.params).data for img in self.images
+        ]
+        self.decoded = (
+            [decode_image(data) for data in self.encoded]
+            if spec.op == "decode" else []
+        )
+
+    def payload(self, i: int) -> Tuple[Any, Any]:
+        """(payload, params) for request ``i`` (round-robin inputs)."""
+        j = i % self.spec.n_images
+        if self.spec.op == "encode":
+            return self.images[j], self.params
+        return self.encoded[j], {}
+
+    def matches(self, i: int, value: Any) -> bool:
+        """Is ``value`` byte/array-identical to the direct-call result?"""
+        j = i % self.spec.n_images
+        if self.spec.op == "encode":
+            return value == self.encoded[j]
+        return bool(np.array_equal(value, self.decoded[j]))
+
+
+class InProcessTarget:
+    """Drive a :class:`CodecServer` through its ``submit()`` API."""
+
+    def __init__(self, server: CodecServer) -> None:
+        self.server = server
+
+    async def request(self, op: str, payload: Any, params: Any,
+                      deadline: Optional[float]):
+        return await self.server.submit(op, payload, params, deadline=deadline)
+
+    async def close(self) -> None:
+        pass
+
+
+class TcpTarget:
+    """Drive a server's TCP front door over one JSON-lines connection.
+
+    Replies are matched to requests by ``id`` (the protocol interleaves
+    freely), so one connection carries the whole open-loop run.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+
+    async def open(self) -> "TcpTarget":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                msg = json.loads(line)
+                fut = self._pending.pop(msg.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(msg)
+        except (ConnectionError, OSError):
+            pass  # connection dropped; pending futures fail below
+        finally:
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.set_exception(ConnectionError("connection closed"))
+            self._pending.clear()
+
+    async def request(self, op: str, payload: Any, params: Any,
+                      deadline: Optional[float]):
+        rid = next(self._ids)
+        msg: Dict[str, Any] = {"id": rid, "op": op}
+        if op == "encode":
+            msg["image"] = image_to_wire(payload)
+            msg["params"] = params_to_wire(params)
+        else:
+            msg["data_b64"] = base64.b64encode(payload).decode("ascii")
+        if deadline is not None:
+            msg["deadline"] = deadline
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        self._writer.write(json.dumps(msg).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        reply = await fut
+        return reply_to_result(op, reply)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # already gone
+        if self._reader_task is not None:
+            await self._reader_task
+
+
+def params_to_wire(params: Optional[CodecParams]) -> Dict[str, Any]:
+    if params is None:
+        return {}
+    return {
+        "levels": params.levels,
+        "filter_name": params.filter_name,
+        "cb_size": params.cb_size,
+        "base_step": params.base_step,
+        "target_bpp": list(params.target_bpp) if params.target_bpp else None,
+        "tile_size": params.tile_size,
+        "bit_depth": params.bit_depth,
+        "resilience": params.resilience,
+    }
+
+
+def reply_to_result(op: str, reply: Dict[str, Any]):
+    """Lift a wire reply back into the in-process result types."""
+    status = reply.get("status")
+    if status == "ok":
+        if op == "encode":
+            value: Any = base64.b64decode(reply["data_b64"])
+        else:
+            value = image_from_wire(reply["image"])
+        return Completed(
+            value,
+            queue_wait=float(reply.get("queue_wait", 0.0)),
+            service_seconds=float(reply.get("service", 0.0)),
+            batch_size=int(reply.get("batch_size", 1)),
+        )
+    if status == "rejected":
+        return Rejected(reply.get("reason", "?"), reply.get("detail", ""))
+    return Failed(RuntimeError(reply.get("error", "unknown server error")))
+
+
+async def run_load(
+    target,
+    spec: LoadSpec,
+    workload: Optional[Workload] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> LoadReport:
+    """Run the open-loop schedule against ``target``; report latencies.
+
+    ``target`` is anything with ``request(op, payload, params,
+    deadline)`` returning a result object (:class:`InProcessTarget`,
+    :class:`TcpTarget`).
+    """
+    if workload is None:
+        workload = Workload(spec)
+    offsets = arrival_offsets(spec)
+    samples: List[Optional[LoadSample]] = [None] * len(offsets)
+    start = clock()
+
+    async def one(i: int) -> None:
+        payload, params = workload.payload(i)
+        t0 = clock()
+        try:
+            result = await target.request(spec.op, payload, params,
+                                          spec.deadline)
+        except Exception as exc:
+            result = Failed(exc)
+        latency = clock() - t0
+        samples[i] = _sample(i, result, latency, workload)
+
+    tasks: List[asyncio.Task] = []
+    for i, offset in enumerate(offsets):
+        delay = (start + offset) - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one(i)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    elapsed = clock() - start
+    return LoadReport(spec=spec.to_dict(), samples=list(samples),
+                      elapsed=elapsed)
+
+
+def _sample(i: int, result, latency: float, workload: Workload) -> LoadSample:
+    if isinstance(result, Completed):
+        return LoadSample(
+            index=i, status="ok", latency=latency,
+            queue_wait=result.queue_wait, service=result.service_seconds,
+            batch_size=result.batch_size,
+            mismatch=not workload.matches(i, result.value),
+        )
+    if isinstance(result, Rejected):
+        return LoadSample(index=i, status="rejected", reason=result.reason,
+                          latency=latency)
+    return LoadSample(index=i, status="error",
+                      reason=f"{type(result.error).__name__}: {result.error}",
+                      latency=latency)

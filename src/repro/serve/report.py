@@ -1,0 +1,179 @@
+"""Latency-percentile + throughput reports for ``repro serve bench``.
+
+A :class:`LoadReport` is the regression target the ROADMAP asks for:
+scaling PRs run the same :class:`~repro.serve.loadgen.LoadSpec` and
+compare percentiles/throughput across the ``BENCH_NNNN.json``
+trajectory (``append_to_trajectory`` lands the report in the same
+envelope the canonical scenario suite uses, so ``repro bench report``
+renders serve runs alongside codec scenarios).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LoadReport", "LoadSample", "percentile"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of measured samples (NaN when empty)."""
+    if not values:
+        return float("nan")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class LoadSample:
+    """The fate of one generated request."""
+
+    index: int
+    status: str  # "ok" | "rejected" | "error"
+    reason: str = ""
+    latency: float = 0.0  # submit -> reply, seconds
+    queue_wait: float = 0.0
+    service: float = 0.0
+    batch_size: int = 0
+    mismatch: bool = False  # reply differed from the direct-call oracle
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index, "status": self.status,
+            "reason": self.reason, "latency": self.latency,
+            "queue_wait": self.queue_wait, "service": self.service,
+            "batch_size": self.batch_size, "mismatch": self.mismatch,
+        }
+
+
+@dataclass
+class LoadReport:
+    """One load run: spec, per-request samples, wall time."""
+
+    spec: Dict[str, Any]
+    samples: List[LoadSample] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    # -- tallies -------------------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        return len(self.samples)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for s in self.samples if s.status == "ok")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for s in self.samples if s.status == "rejected")
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for s in self.samples if s.status == "error")
+
+    @property
+    def mismatches(self) -> int:
+        return sum(1 for s in self.samples if s.mismatch)
+
+    @property
+    def clean(self) -> bool:
+        """No sheds, no errors, no byte-mismatches -- the CI smoke bar."""
+        return self.shed == 0 and self.errors == 0 and self.mismatches == 0
+
+    def shed_reasons(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.samples:
+            if s.status == "rejected":
+                out[s.reason] = out.get(s.reason, 0) + 1
+        return out
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completed / self.elapsed
+
+    def latencies(self) -> List[float]:
+        """Latency samples of *completed* requests only: a shed answers
+        fast by design and must not flatter the percentiles."""
+        return [s.latency for s in self.samples if s.status == "ok"]
+
+    def percentiles(self) -> Dict[str, float]:
+        lat = self.latencies()
+        return {
+            "p50": percentile(lat, 0.50),
+            "p90": percentile(lat, 0.90),
+            "p95": percentile(lat, 0.95),
+            "p99": percentile(lat, 0.99),
+            "max": max(lat) if lat else float("nan"),
+        }
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary(self) -> str:
+        spec = self.spec
+        pct = self.percentiles()
+        done = self.completed
+        frac = 100.0 * done / self.offered if self.offered else 0.0
+        lines = [
+            f"serve bench: {spec.get('op', '?')} {spec.get('side', '?')}px, "
+            f"rate {spec.get('rate', 0):g} req/s for "
+            f"{spec.get('duration', 0):g}s ({self.offered} offered)",
+            f"  completed {done} ({frac:.1f}%), shed {self.shed}, "
+            f"errors {self.errors}, byte-mismatches {self.mismatches}",
+            f"  throughput {self.throughput:.1f} req/s "
+            f"(wall {self.elapsed:.2f}s)",
+            "  latency  "
+            + "  ".join(
+                f"{k} {1e3 * v:.1f} ms" for k, v in pct.items()
+                if not math.isnan(v)
+            ),
+        ]
+        reasons = self.shed_reasons()
+        if reasons:
+            lines.append(
+                "  sheds: "
+                + ", ".join(f"{k} {v}" for k, v in sorted(reasons.items()))
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": dict(self.spec),
+            "elapsed": self.elapsed,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "throughput": self.throughput,
+            "percentiles": self.percentiles(),
+            "shed_reasons": self.shed_reasons(),
+            "samples": [s.to_dict() for s in self.samples],
+        }
+
+    def append_to_trajectory(self, path: Path,
+                             name: Optional[str] = None) -> Path:
+        """Record this run as an ``experiment:`` row in a trajectory
+        file (everything except the raw per-request samples)."""
+        from ..bench.trajectory import append_experiment
+
+        spec = self.spec
+        if name is None:
+            name = (
+                f"serve-{spec.get('op', '?')}-{spec.get('side', '?')}px-"
+                f"r{spec.get('rate', 0):g}"
+            )
+        detail = self.to_dict()
+        detail.pop("samples", None)
+        return append_experiment(
+            path, name=name, seconds=self.elapsed,
+            checks_passed=self.clean, extra={"serve": detail},
+        )

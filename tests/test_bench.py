@@ -10,6 +10,7 @@ from repro.bench import (
     SCHEMA,
     SCHEMA_VERSION,
     ComparePolicy,
+    PoolCache,
     Scenario,
     ScenarioResult,
     TrajectoryRun,
@@ -226,6 +227,54 @@ def test_run_scenario_rejects_bad_input():
         run_scenario(Scenario("transcode", "serial", 1, 32))
     with pytest.raises(ValueError):
         run_scenario(Scenario("encode", "serial", 1, 32), repeats=0)
+
+
+# ---------------------------------------------------------------------------
+# Warm-pool reuse (regression: one pool per (backend, workers) cell)
+# ---------------------------------------------------------------------------
+
+
+def test_pool_cache_one_pool_per_cell():
+    with PoolCache() as pools:
+        a = pools.get("serial", 1)
+        b = pools.get("serial", 1)
+        c = pools.get("threads", 2)
+        assert a is b
+        assert a is not c
+        assert pools.creations == 2
+
+
+def test_pool_cache_applies_wrap_once():
+    wrapped = []
+
+    def wrap(backend):
+        wrapped.append(backend)
+        return backend
+
+    with PoolCache(wrap) as pools:
+        pools.get("serial", 1)
+        pools.get("serial", 1)
+    assert len(wrapped) == 1
+
+
+def test_run_suite_reuses_one_pool_per_cell(monkeypatch):
+    """The fresh-pool-per-scenario regression: the quick suite has three
+    scenarios over two (backend, workers) cells, so exactly two pools
+    are ever constructed -- scenario runs borrow, never build."""
+    from repro.bench import run_suite
+    from repro.bench import scenarios as sc_mod
+
+    created = []
+    real_get_backend = sc_mod.get_backend
+
+    def counting_get_backend(name, workers):
+        created.append((name, workers))
+        return real_get_backend(name, workers)
+
+    monkeypatch.setattr(sc_mod, "get_backend", counting_get_backend)
+    run = run_suite(quick=True, repeats=1, profile=False)
+    assert len(run.scenarios) == 3
+    assert sorted(created) == [("serial", 1), ("threads", 2)]
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ class TestParser:
             "lint",
             "races",
             "bench",
+            "serve",
         }
 
     def test_missing_command_errors(self):

@@ -21,6 +21,7 @@ from repro.codec import CodecParams, decode_image, encode_image
 from repro.core.backend import get_backend
 from repro.core.supervise import (
     DEGRADATION_LADDER,
+    DeadlineExpired,
     SupervisedBackend,
     SupervisionError,
     SupervisionPolicy,
@@ -344,6 +345,123 @@ class TestPolicyAndParse:
         sup = supervised(inner, FAST)
         assert supervised(sup) is sup
         sup.close()
+
+
+class _FakeClock:
+    def __init__(self, t: float = 100.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class _DeadlineSpy:
+    """Delegating wrapper recording the ``deadline=`` of every attempt."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.deadlines = []
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def sweep_attempt(self, *args, deadline=None, **kw):
+        self.deadlines.append(deadline)
+        return self.inner.sweep_attempt(*args, deadline=deadline, **kw)
+
+    def map_shares_attempt(self, *args, deadline=None, **kw):
+        self.deadlines.append(deadline)
+        return self.inner.map_shares_attempt(*args, deadline=deadline, **kw)
+
+
+class TestCallDeadline:
+    """Per-call deadlines (the service layer's per-request budget)."""
+
+    def test_deadline_expired_is_a_supervision_error(self):
+        assert issubclass(DeadlineExpired, SupervisionError)
+
+    def test_expired_deadline_fails_fast_before_dispatch(self):
+        clock = _FakeClock()
+        spy = _DeadlineSpy(get_backend("serial", 1))
+        sup = supervised(spy, FAST, clock=clock)
+        sup.call_deadline = clock() - 1.0
+        try:
+            with pytest.raises(DeadlineExpired):
+                encode_image(_image(), _params(), backend=sup, n_workers=2)
+        finally:
+            sup.close()
+        # Fail-fast contract: nothing was dispatched to the backend.
+        assert spy.deadlines == []
+        rep = sup.report
+        assert rep.timeouts == 1
+        kinds = [e.kind for e in rep.events]
+        assert kinds == ["deadline"]
+        assert "pre-dispatch" in rep.events[0].detail
+        assert not rep.clean
+
+    def test_remaining_budget_caps_attempt_timeout(self):
+        # phase_timeout 10 s but only 5 s of budget left -> every
+        # attempt is dispatched with a 5 s deadline.
+        clock = _FakeClock()
+        spy = _DeadlineSpy(get_backend("serial", 1))
+        sup = supervised(
+            spy, SupervisionPolicy(phase_timeout=10.0, backoff_base=0.0),
+            clock=clock,
+        )
+        sup.call_deadline = clock() + 5.0
+        try:
+            encode_image(_image(), _params(), backend=sup, n_workers=2)
+        finally:
+            sup.close()
+        assert spy.deadlines and all(
+            d == pytest.approx(5.0) for d in spy.deadlines
+        )
+        assert sup.report.clean
+
+    def test_phase_timeout_wins_when_tighter(self):
+        clock = _FakeClock()
+        spy = _DeadlineSpy(get_backend("serial", 1))
+        sup = supervised(
+            spy, SupervisionPolicy(phase_timeout=2.0, backoff_base=0.0),
+            clock=clock,
+        )
+        sup.call_deadline = clock() + 5.0
+        try:
+            encode_image(_image(), _params(), backend=sup, n_workers=2)
+        finally:
+            sup.close()
+        assert spy.deadlines and all(
+            d == pytest.approx(2.0) for d in spy.deadlines
+        )
+
+    def test_no_deadline_means_no_timeout(self):
+        spy = _DeadlineSpy(get_backend("serial", 1))
+        sup = supervised(spy, FAST)
+        try:
+            encode_image(_image(), _params(), backend=sup, n_workers=2)
+        finally:
+            sup.close()
+        assert spy.deadlines and all(d is None for d in spy.deadlines)
+
+    def test_deadline_resets_between_calls(self):
+        # A budget left over from one call must not leak into the next
+        # (the serve layer clears call_deadline in a finally; belt and
+        # braces: an expired call still leaves the backend usable).
+        clock = _FakeClock()
+        spy = _DeadlineSpy(get_backend("serial", 1))
+        sup = supervised(spy, FAST, clock=clock)
+        sup.call_deadline = clock() - 1.0
+        try:
+            with pytest.raises(DeadlineExpired):
+                encode_image(_image(), _params(), backend=sup, n_workers=2)
+            sup.call_deadline = None
+            result = encode_image(_image(), _params(), backend=sup, n_workers=2)
+        finally:
+            sup.close()
+        assert result.data == _reference()
 
 
 # -- wide matrix (slow) ------------------------------------------------------
