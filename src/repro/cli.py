@@ -505,12 +505,20 @@ def _serve_config_from_args(args: argparse.Namespace):
         batch_window=args.batch_window,
         default_deadline=args.default_deadline,
         supervision=_policy_from_args(args),
+        max_frame=args.max_frame,
+        replay_ttl=args.replay_ttl,
+        replay_cap=args.replay_cap,
     )
 
 
 def _cmd_serve_run(args: argparse.Namespace) -> int:
-    """Start the TCP/JSON-lines codec server; run until SIGINT/SIGTERM."""
+    """Start the TCP/JSON-lines codec server; run until SIGINT/SIGTERM.
+
+    First signal starts a graceful drain (stop accepting, finish
+    in-flight work, print metrics); a second signal force-exits.
+    """
     import asyncio
+    import os
     import signal
 
     from .obs import MetricsRegistry
@@ -522,9 +530,18 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     async def main_async() -> None:
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
+
+        def on_signal() -> None:
+            if not stop.is_set():
+                print("signal received: draining (signal again to force-exit)")
+                stop.set()
+            else:  # pragma: no cover - interactive escape hatch
+                print("second signal: force exit")
+                os._exit(130)
+
         for sig in (signal.SIGINT, signal.SIGTERM):
             try:
-                loop.add_signal_handler(sig, stop.set)
+                loop.add_signal_handler(sig, on_signal)
             except NotImplementedError:  # pragma: no cover - non-POSIX
                 pass
         server = CodecServer(config, metrics=metrics)
@@ -557,9 +574,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from .obs import MetricsRegistry
     from .serve import (
+        BreakerPolicy,
         CodecServer,
         InProcessTarget,
         LoadSpec,
+        RetryPolicy,
         TcpTarget,
         Workload,
         run_load,
@@ -571,19 +590,45 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         n_images=args.images, seed=args.seed, deadline=args.deadline,
         levels=args.levels, cb_size=args.cb_size,
     )
+    chaos_spec = None
+    if args.chaos:
+        from .faults import ChaosSpec
+
+        chaos_spec = ChaosSpec.parse(args.chaos)
+        if not args.tcp:
+            print("--chaos implies --tcp (faults live on the wire)")
+            args.tcp = True
     # Build inputs + direct-call references before any clock starts, so
     # the measured window is pure serving.
     workload = Workload(spec)
     metrics = MetricsRegistry()
+    retry = RetryPolicy(
+        max_attempts=args.client_retries,
+        backoff_base=args.client_backoff,
+        attempt_timeout=args.client_timeout,
+    )
+    breaker = BreakerPolicy(
+        failure_threshold=args.breaker_threshold,
+        reset_timeout=args.breaker_reset,
+    )
 
     async def main_async():
         server = CodecServer(config, metrics=metrics)
         await server.start()
         target = None
+        proxy = None
+        chaos_counts = None
         try:
             if args.tcp:
                 host, port = await server.serve_tcp("127.0.0.1", 0)
-                target = await TcpTarget(host, port).open()
+                if chaos_spec is not None:
+                    from .faults import ChaosProxy
+
+                    proxy = ChaosProxy(host, port, chaos_spec)
+                    host, port = await proxy.start("127.0.0.1", 0)
+                target = await TcpTarget(
+                    host, port, retry=retry, breaker=breaker
+                ).open()
             else:
                 target = InProcessTarget(server)
             load_report = await run_load(target, spec, workload=workload)
@@ -591,11 +636,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         finally:
             if target is not None:
                 await target.close()
+            if proxy is not None:
+                chaos_counts = proxy.fault_counts()
+                await proxy.stop()
             await server.stop()
-        return load_report, pool_reports
+        return load_report, pool_reports, chaos_counts
 
-    report, pool_reports = asyncio.run(main_async())
+    report, pool_reports, chaos_counts = asyncio.run(main_async())
     print(report.summary())
+    if chaos_counts is not None:
+        injected = {k: v for k, v in sorted(chaos_counts.items()) if v}
+        print(
+            "  chaos: "
+            + (", ".join(f"{k} {v}" for k, v in injected.items()) or "none")
+        )
     for name, rep in pool_reports:
         if not rep.clean:
             print(f"pool {name}: {rep.summary()}")
@@ -969,6 +1023,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-clean", action="store_true",
         help="exit 1 on any shed/error/byte-mismatch (CI smoke bar)",
     )
+    sbn.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject seeded network faults between client and server "
+             "(implies --tcp), e.g. 'disconnect=0.08,corrupt=0.05,seed=7'; "
+             "kinds: disconnect, truncate, corrupt, split, delay",
+    )
+    sbn.add_argument(
+        "--client-retries", type=int, default=4, metavar="N",
+        help="max attempts per request in the resilient TCP client",
+    )
+    sbn.add_argument(
+        "--client-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base retry backoff (exponential, full jitter)",
+    )
+    sbn.add_argument(
+        "--client-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-attempt timeout in the TCP client",
+    )
+    sbn.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive failures before the circuit breaker opens",
+    )
+    sbn.add_argument(
+        "--breaker-reset", type=float, default=1.0, metavar="SECONDS",
+        help="open -> half-open probe delay for the circuit breaker",
+    )
     sbn.set_defaults(fn=_cmd_serve_bench)
     for p in (srun, sbn):
         from .core.backend import BACKEND_NAMES
@@ -989,6 +1069,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for stragglers per batch")
         p.add_argument("--default-deadline", type=float, default=None,
                        help="budget for requests without their own")
+        p.add_argument("--max-frame", type=int, default=1 << 23,
+                       help="TCP frame cap in bytes; oversized frames get "
+                            "an explicit frame-too-large error")
+        p.add_argument("--replay-ttl", type=float, default=60.0,
+                       help="seconds a reply stays in the idempotent "
+                            "replay cache")
+        p.add_argument("--replay-cap", type=int, default=1024,
+                       help="max cached replies (FIFO eviction beyond)")
         _add_supervision_args(p)
     return ap
 

@@ -15,6 +15,15 @@ each other's results.
 JPWL's assumption that the main header travels error-protected; pass 0
 to expose the whole stream.
 
+**Network faults** model the wire between a codec client and the
+server misbehaving: dropped connections, partial writes, latency
+spikes, and corrupted or truncated JSON frames.  :class:`ChaosSpec`
+is a seeded per-frame fault schedule, :class:`ChaosTransport` applies
+it to one direction of a stream pair, and :class:`ChaosProxy` is a
+TCP proxy composing two transports per connection -- the harness the
+exactly-once soak in ``tests/test_serve_client.py`` drives the
+``repro.serve`` client/server pair through.
+
 **Compute faults** model the *workers* failing rather than the bytes:
 a kernel raising (``exc``), a worker wedging (``hang``), or a worker
 being killed outright (``kill`` -- a real ``os._exit`` in a process
@@ -31,6 +40,7 @@ the byte-identical codestream the serial backend produces.
 
 from __future__ import annotations
 
+import asyncio
 import time
 import zlib
 from dataclasses import dataclass
@@ -48,6 +58,10 @@ from .core.backend import (
 __all__ = [
     "COMPUTE_FAULT_KINDS",
     "FAULT_MODES",
+    "NET_FAULT_KINDS",
+    "ChaosProxy",
+    "ChaosSpec",
+    "ChaosTransport",
     "ComputeFault",
     "FaultSpec",
     "FaultyBackend",
@@ -450,3 +464,281 @@ class FaultyBackend(ExecutionBackend):
         return self.inner.map_shares_attempt(
             kernel, shares, deadline=deadline, ph=ph, label=label
         )
+
+
+# ---------------------------------------------------------------------------
+# Network faults: seeded frame-level chaos for the wire protocol.
+# ---------------------------------------------------------------------------
+
+#: Supported network-fault kinds (drawn cumulatively, in this order).
+NET_FAULT_KINDS = ("disconnect", "truncate", "corrupt", "split", "delay")
+
+#: Stream buffer limit inside the chaos proxy -- must exceed the serve
+#: layer's frame cap or the proxy itself would be the fault.
+_CHAOS_LIMIT = 1 << 23
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded per-frame network-fault schedule.
+
+    Each frame crossing a :class:`ChaosTransport` draws one uniform
+    variate and suffers at most one fault: ``disconnect`` (the whole
+    proxied connection dies, nothing forwarded), ``truncate`` (half the
+    frame is written, then the connection dies -- a torn JSON line),
+    ``corrupt`` (a few bytes are flipped; the frame still ends in its
+    newline), ``split`` (a partial write: half the frame, a flush, a
+    pause, the rest), or ``delay`` (a latency spike of
+    ``delay_seconds``).  Fields are the per-frame probabilities; their
+    sum must stay within 1.  ``direction`` confines the chaos to
+    client->server frames (``c2s``), server->client (``s2c``), or
+    ``both``.  Everything is driven by per-direction RNG streams seeded
+    from ``seed``, so a soak with sequential requests replays the same
+    fault schedule run after run.
+    """
+
+    disconnect: float = 0.0
+    truncate: float = 0.0
+    corrupt: float = 0.0
+    split: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.02
+    corrupt_bytes: int = 8
+    seed: int = 0
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for kind in NET_FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate {rate} must be in [0, 1]")
+            total += rate
+        if total > 1.0:
+            raise ValueError(f"fault rates sum to {total:.3f} > 1")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.corrupt_bytes < 1:
+            raise ValueError("corrupt_bytes must be >= 1")
+        if self.direction not in ("c2s", "s2c", "both"):
+            raise ValueError(
+                f"direction must be c2s/s2c/both, not {self.direction!r}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Parse ``disconnect=0.1,corrupt=0.05,seed=7,direction=s2c``."""
+        kwargs: Dict[str, Any] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad chaos spec field {part!r} (want key=value)"
+                )
+            name, value = (s.strip() for s in part.split("=", 1))
+            name = name.replace("-", "_")
+            try:
+                if name in ("seed", "corrupt_bytes"):
+                    kwargs[name] = int(value)
+                elif name == "direction":
+                    kwargs[name] = value
+                elif name in NET_FAULT_KINDS or name == "delay_seconds":
+                    kwargs[name] = float(value)
+                else:
+                    raise ValueError(f"unknown chaos field {name!r}")
+            except ValueError as exc:
+                if "chaos field" in str(exc):
+                    raise
+                raise ValueError(
+                    f"bad chaos value {part!r}: {exc}"
+                ) from None
+        return cls(**kwargs)
+
+
+class ChaosTransport:
+    """One direction of seeded frame chaos over a stream pair.
+
+    Stateful across connections on purpose: the RNG stream keeps
+    advancing through reconnects, so a whole soak (with however many
+    connections the client ends up opening) is one reproducible fault
+    schedule.  ``pump(reader, writer)`` forwards JSON-line frames until
+    EOF or an injected kill and reports why it stopped.
+    """
+
+    def __init__(self, spec: ChaosSpec, direction: str) -> None:
+        if direction not in ("c2s", "s2c"):
+            raise ValueError(f"direction must be c2s or s2c, not {direction!r}")
+        self.spec = spec
+        self.direction = direction
+        self.active = spec.direction in ("both", direction)
+        self._rng = np.random.default_rng(
+            [spec.seed, zlib.crc32(direction.encode())]
+        )
+        self.counts: Dict[str, int] = {k: 0 for k in NET_FAULT_KINDS}
+        self.counts["frames"] = 0
+
+    def plan(self) -> str:
+        """Draw the fate of the next frame (``"ok"`` or a fault kind)."""
+        self.counts["frames"] += 1
+        if not self.active:
+            return "ok"
+        u = float(self._rng.random())
+        acc = 0.0
+        for kind in NET_FAULT_KINDS:
+            acc += getattr(self.spec, kind)
+            if u < acc:
+                self.counts[kind] += 1
+                return kind
+        return "ok"
+
+    def corrupt_frame(self, body: bytes) -> bytes:
+        """Flip up to ``corrupt_bytes`` bytes of the frame body.
+
+        Never produces a newline byte, so corruption damages the JSON
+        without moving the frame boundary (``truncate``/``split`` own
+        the framing-damage cases)."""
+        if not body:
+            return body
+        out = bytearray(body)
+        n = min(self.spec.corrupt_bytes, len(out))
+        for pos in self._rng.integers(0, len(out), size=n):
+            out[int(pos)] ^= int(self._rng.integers(1, 256))
+            if out[int(pos)] == 0x0A:
+                out[int(pos)] = 0x0B
+        return bytes(out)
+
+    async def pump(self, reader: "asyncio.StreamReader",
+                   writer: "asyncio.StreamWriter") -> str:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return "eof"
+                action = self.plan()
+                if action == "disconnect":
+                    return "disconnect"
+                if action == "delay":
+                    await asyncio.sleep(self.spec.delay_seconds)
+                elif action == "corrupt":
+                    body = line[:-1] if line.endswith(b"\n") else line
+                    line = self.corrupt_frame(body) + b"\n"
+                elif action == "truncate":
+                    writer.write(line[: max(1, len(line) // 2)])
+                    await writer.drain()
+                    return "truncate"
+                elif action == "split":
+                    cut = max(1, len(line) // 2)
+                    writer.write(line[:cut])
+                    await writer.drain()
+                    await asyncio.sleep(self.spec.delay_seconds)
+                    line = line[cut:]
+                writer.write(line)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            return "error"
+
+
+class ChaosProxy:
+    """TCP chaos proxy: client <-> proxy <-> codec server.
+
+    Accepts connections, opens one upstream connection each, and pumps
+    frames through the two shared :class:`ChaosTransport` directions.
+    When either direction injects a kill (or hits EOF), the whole
+    proxied connection is torn down abruptly -- exactly what a
+    mid-path failure looks like to both ends.  ``fault_counts()``
+    reports what actually fired, so a soak can assert its chaos was
+    real and a clean run can prove it was not.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 spec: ChaosSpec) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.spec = spec
+        self.transports = {
+            "c2s": ChaosTransport(spec, "c2s"),
+            "s2c": ChaosTransport(spec, "s2c"),
+        }
+        self.connections = 0
+        self._server: Optional["asyncio.AbstractServer"] = None
+        self._conn_tasks: set = set()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        if self._server is not None:
+            raise RuntimeError("proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=_CHAOS_LIMIT
+        )
+        addr = self._server.sockets[0].getsockname()
+        return addr[0], addr[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        self._conn_tasks.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected-fault tally summed over both directions."""
+        out: Dict[str, int] = {}
+        for transport in self.transports.values():
+            for kind, n in transport.counts.items():
+                out[kind] = out.get(kind, 0) + n
+        return out
+
+    async def _handle(self, reader: "asyncio.StreamReader",
+                      writer: "asyncio.StreamWriter") -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.connections += 1
+        upstream_writer = None
+        try:
+            try:
+                upstream_reader, upstream_writer = await asyncio.open_connection(
+                    self.upstream_host, self.upstream_port, limit=_CHAOS_LIMIT
+                )
+            except OSError:
+                return
+            pumps = [
+                asyncio.ensure_future(
+                    self.transports["c2s"].pump(reader, upstream_writer)
+                ),
+                asyncio.ensure_future(
+                    self.transports["s2c"].pump(upstream_reader, writer)
+                ),
+            ]
+            _, pending = await asyncio.wait(
+                pumps, return_when=asyncio.FIRST_COMPLETED
+            )
+            for pump in pending:
+                pump.cancel()
+            if pending:
+                await asyncio.gather(*list(pending), return_exceptions=True)
+        except asyncio.CancelledError:
+            # stop() cancelling a live connection; letting this escape
+            # would only feed asyncio's streams callback an unretrieved
+            # CancelledError to log.
+            pass
+        finally:
+            for w in (upstream_writer, writer):
+                if w is None:
+                    continue
+                transport = w.transport
+                if transport is not None:
+                    transport.abort()  # RST-like: a mid-path kill, not a FIN
+            self._conn_tasks.discard(task)

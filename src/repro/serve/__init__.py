@@ -7,9 +7,14 @@ applies admission control (bounded queue, per-request deadlines,
 explicit :class:`Rejected` sheds), batches work onto long-lived
 supervised backend pools, and answers every admitted request exactly
 once with bytes identical to a direct ``encode_image``/``decode_image``
-call.  ``repro serve run`` starts a server; ``repro serve bench`` drives
-the deterministic open-loop load generator and reports latency
-percentiles + throughput.
+call.  The wire protocol is exactly-once end to end: a
+:class:`CodecClient` retries with backoff + jitter behind a circuit
+breaker, every request carries an idempotency key, and the server's
+:class:`ReplayCache` answers retries without re-executing tier-1
+coding.  ``repro serve run`` starts a server; ``repro serve bench``
+drives the deterministic open-loop load generator (optionally through
+the ``repro.faults`` network-chaos proxy) and reports latency
+percentiles + throughput + client resilience counters.
 
 Import discipline: this package is *never* imported by the plain
 encode/decode path (``repro.__getattr__`` resolves it lazily, and
@@ -32,6 +37,16 @@ from .admission import (
     Request,
 )
 from .batching import PoolSet, WarmPool, execute_batch, execute_request
+from .client import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ClientStats,
+    CodecClient,
+    RetriesExhausted,
+    RetryPolicy,
+    params_to_wire,
+    reply_to_result,
+)
 from .loadgen import (
     InProcessTarget,
     LoadSpec,
@@ -40,6 +55,7 @@ from .loadgen import (
     arrival_offsets,
     run_load,
 )
+from .replay import ReplayCache
 from .report import LoadReport, LoadSample, percentile
 from .server import (
     CodecServer,
@@ -56,6 +72,10 @@ __all__ = [
     "SHED_REASONS",
     "SHUTDOWN",
     "AdmissionQueue",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ClientStats",
+    "CodecClient",
     "CodecServer",
     "Completed",
     "Failed",
@@ -65,7 +85,10 @@ __all__ = [
     "LoadSpec",
     "PoolSet",
     "Rejected",
+    "ReplayCache",
     "Request",
+    "RetriesExhausted",
+    "RetryPolicy",
     "ServeConfig",
     "TcpTarget",
     "WarmPool",
@@ -76,7 +99,9 @@ __all__ = [
     "image_from_wire",
     "image_to_wire",
     "params_from_wire",
+    "params_to_wire",
     "percentile",
+    "reply_to_result",
     "run_load",
     "wire_reply",
 ]

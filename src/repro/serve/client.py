@@ -1,0 +1,558 @@
+"""`CodecClient`: the resilient half of the exactly-once wire protocol.
+
+The server answers every *admitted* request exactly once; this client
+closes the loop from the other side so the **caller** sees exactly one
+result per logical request even when the network between them lies:
+
+* every request carries a client-generated **idempotency key** (and
+  reuses it, and the same wire ``id``, across attempts) -- a retry of a
+  request the server already ran is answered from the server's replay
+  cache instead of re-executing tier-1 coding;
+* **bounded retries** with exponential backoff and *full jitter*
+  (``delay ~ U(0, min(max, base * 2^attempt))``), deterministic when a
+  ``jitter_seed`` is given so chaos soaks replay bit-for-bit;
+* **deadline propagation**: a relative budget at ``request()`` becomes
+  an absolute client-side deadline; every attempt ships the *remaining*
+  budget on the wire (so server-side admission expires it consistently)
+  and backoff sleeps never outlive the budget;
+* **automatic reconnect** with a generation counter so concurrent
+  requests racing into a dead connection rebuild it once, not N times;
+* a **closed/open/half-open circuit breaker**: ``failure_threshold``
+  consecutive transport failures open it, ``reset_timeout`` later one
+  half-open probe is let through, success closes it again.  While open
+  the client *waits* (budget permitting) instead of hammering a dead
+  endpoint.
+
+Transport failures (connect errors, dropped connections, timed-out
+replies, replies flagged ``retryable`` -- the server marks wire-level
+parse errors so) are retried; deterministic verdicts (``ok``, codec
+``error``, ``deadline`` sheds) return immediately.  ``queue-full`` and
+``shutdown`` sheds are retried with backoff -- overload is transient by
+definition -- and surface as the last ``Rejected`` once attempts run
+out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import itertools
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..codec import CodecParams
+from .admission import DEADLINE, QUEUE_FULL, SHUTDOWN, Completed, Failed, Rejected
+from .server import image_from_wire, image_to_wire
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ClientStats",
+    "CodecClient",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "params_to_wire",
+    "reply_to_result",
+]
+
+#: StreamReader buffer limit for replies (decode replies carry images).
+_REPLY_LIMIT = 1 << 23
+#: Poll floor while parked behind an open breaker whose half-open probe
+#: is already taken by a sibling request.
+_BREAKER_POLL = 0.005
+
+
+class RetriesExhausted(ConnectionError):
+    """Every attempt failed on transport; carries the last cause."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries: exponential backoff, full jitter, attempt cap.
+
+    ``attempt_timeout`` bounds how long one attempt waits for its reply
+    (further capped by the request's remaining deadline); ``None``
+    waits forever (deadline permitting).  ``jitter_seed`` pins the
+    jitter RNG for deterministic tests; ``None`` draws a fresh seed.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    attempt_timeout: Optional[float] = 10.0
+    jitter_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive (or None)")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter delay before retry ``attempt`` (0-based)."""
+        cap = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        return rng.uniform(0.0, cap)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit breaker shape: trip threshold and recovery probing."""
+
+    failure_threshold: int = 5
+    reset_timeout: float = 1.0
+    half_open_max: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        if self.half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open state machine over a shared clock.
+
+    Pure bookkeeping (no sleeping, no I/O): ``allow()`` answers "may an
+    attempt go out right now", the owner reports outcomes through
+    ``record_success``/``record_failure``.  Consecutive failures trip
+    it; after ``reset_timeout`` the next ``allow()`` flips to half-open
+    and admits up to ``half_open_max`` probes; one success closes, one
+    failure re-opens.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opens = 0
+        self._opened_at = 0.0
+        self._probes = 0
+
+    def allow(self) -> bool:
+        if self.state == self.OPEN:
+            if self.clock() - self._opened_at < self.policy.reset_timeout:
+                return False
+            self.state = self.HALF_OPEN
+            self._probes = 0
+        if self.state == self.HALF_OPEN:
+            if self._probes >= self.policy.half_open_max:
+                return False
+            self._probes += 1
+        return True
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self._probes = 0
+
+    def record_failure(self) -> None:
+        if self.state == self.OPEN:
+            return  # already open; don't extend the timeout
+        self.failures += 1
+        if self.state == self.HALF_OPEN or \
+                self.failures >= self.policy.failure_threshold:
+            self.state = self.OPEN
+            self.opens += 1
+            self._opened_at = self.clock()
+            self.failures = 0
+
+    def time_until_half_open(self) -> float:
+        if self.state != self.OPEN:
+            return 0.0
+        return max(
+            0.0,
+            self.policy.reset_timeout - (self.clock() - self._opened_at),
+        )
+
+
+@dataclass
+class ClientStats:
+    """What resilience cost: attempts, retries, reconnects, replays."""
+
+    requests: int = 0
+    attempts: int = 0
+    retries: int = 0
+    connects: int = 0
+    reconnects: int = 0
+    replay_hits: int = 0
+    timeouts: int = 0
+    protocol_errors: int = 0
+    breaker_waits: int = 0
+    backoff_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests, "attempts": self.attempts,
+            "retries": self.retries, "connects": self.connects,
+            "reconnects": self.reconnects, "replay_hits": self.replay_hits,
+            "timeouts": self.timeouts,
+            "protocol_errors": self.protocol_errors,
+            "breaker_waits": self.breaker_waits,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+        }
+
+
+class _Connection:
+    """One live socket + reader task + id-keyed pending futures."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.pending: Dict[Any, asyncio.Future] = {}
+        self.closed = False
+        self.task: Optional[asyncio.Task] = None
+
+    def register(self, rid: Any) -> asyncio.Future:
+        stale = self.pending.get(rid)
+        if stale is not None and not stale.done():
+            stale.cancel()
+        fut = asyncio.get_running_loop().create_future()
+        self.pending[rid] = fut
+        return fut
+
+    async def read_loop(self, on_protocol_error: Callable[[], None]) -> None:
+        try:
+            while True:
+                line = await self.reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    msg = json.loads(line)
+                except (ValueError, UnicodeDecodeError):
+                    on_protocol_error()
+                    continue
+                if not isinstance(msg, dict):
+                    on_protocol_error()
+                    continue
+                fut = self.pending.pop(msg.get("id"), None)
+                if fut is None and msg.get("id") is None and \
+                        msg.get("status") == "error" and len(self.pending) == 1:
+                    # A wire-level error reply lost its id (the frame it
+                    # answers was mangled in transit).  With exactly one
+                    # request in flight it can only concern that one --
+                    # deliver it so the retry starts now, not at the
+                    # attempt timeout.
+                    fut = self.pending.pop(next(iter(self.pending)))
+                if fut is not None and not fut.done():
+                    fut.set_result(msg)
+        except (ConnectionError, OSError):
+            pass  # torn connection: pending futures fail below
+        except ValueError:
+            on_protocol_error()  # oversized reply frame; drop the conn
+        finally:
+            self.closed = True
+            error = ConnectionError("connection closed")
+            for fut in self.pending.values():
+                if not fut.done():
+                    fut.set_exception(error)
+            self.pending.clear()
+            self.writer.close()
+
+    async def close(self) -> None:
+        self.closed = True
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # peer beat us to it
+        if self.task is not None:
+            await self.task
+
+
+class CodecClient:
+    """Exactly-once client for the TCP/JSON-lines codec server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], Any] = asyncio.sleep,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retry = retry or RetryPolicy()
+        self.breaker = CircuitBreaker(breaker, clock=clock)
+        self.clock = clock
+        self.stats = ClientStats()
+        self._sleep = sleep
+        self._rng = random.Random(
+            self.retry.jitter_seed
+            if self.retry.jitter_seed is not None
+            else int.from_bytes(os.urandom(8), "big")
+        )
+        self._client_id = client_id or os.urandom(4).hex()
+        self._seq = itertools.count(1)
+        self._conn: Optional[_Connection] = None
+        self._conn_lock = asyncio.Lock()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def connect(self) -> "CodecClient":
+        """Eagerly open the connection (``request`` also does, lazily)."""
+        await self._ensure_connected()
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            await conn.close()
+
+    async def __aenter__(self) -> "CodecClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def stats_dict(self) -> Dict[str, Any]:
+        out = self.stats.to_dict()
+        out["breaker_opens"] = self.breaker.opens
+        out["breaker_state"] = self.breaker.state
+        return out
+
+    # -- public request API --------------------------------------------------
+
+    async def encode(self, image, params: Optional[CodecParams] = None,
+                     deadline: Optional[float] = None):
+        return await self.request("encode", image, params, deadline=deadline)
+
+    async def decode(self, data: bytes, params: Any = None,
+                     deadline: Optional[float] = None):
+        return await self.request("decode", data, params, deadline=deadline)
+
+    async def ping(self, deadline: Optional[float] = None) -> bool:
+        result = await self.request("ping", None, None, deadline=deadline)
+        return isinstance(result, Completed)
+
+    async def request(self, op: str, payload: Any, params: Any = None,
+                      deadline: Optional[float] = None):
+        """One logical request -> one result, however many attempts.
+
+        Returns the in-process result types (:class:`Completed` /
+        :class:`Rejected` / :class:`Failed`); transport exhaustion is a
+        ``Failed(RetriesExhausted)`` unless the last word from the
+        server was an explicit shed, which is returned as-is.
+        """
+        if op not in ("encode", "decode", "ping"):
+            raise ValueError(f"op must be encode/decode/ping, not {op!r}")
+        self.stats.requests += 1
+        key = f"{self._client_id}-{next(self._seq)}"
+        msg = self._wire_message(key, op, payload, params)
+        abs_deadline = None if deadline is None else self.clock() + deadline
+        last_failure: Any = None
+        last_shed: Optional[Rejected] = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.stats.retries += 1
+            remaining = self._remaining(abs_deadline)
+            if remaining is not None and remaining <= 0:
+                return Rejected(
+                    DEADLINE,
+                    f"client budget exhausted after {attempt} attempt(s)",
+                )
+            if not await self._breaker_gate(abs_deadline):
+                return Rejected(
+                    DEADLINE,
+                    "client budget exhausted waiting for the circuit "
+                    "breaker to close",
+                )
+            remaining = self._remaining(abs_deadline)
+            if remaining is not None:
+                msg["deadline"] = remaining
+            msg["attempt"] = attempt
+            self.stats.attempts += 1
+            try:
+                reply = await self._attempt(msg, remaining)
+            except asyncio.TimeoutError:
+                self.stats.timeouts += 1
+                self.breaker.record_failure()
+                last_failure = TimeoutError(
+                    f"no reply within the attempt timeout (attempt {attempt})"
+                )
+                await self._backoff(attempt, abs_deadline)
+                continue
+            except (ConnectionError, OSError) as exc:
+                self.breaker.record_failure()
+                last_failure = exc
+                await self._backoff(attempt, abs_deadline)
+                continue
+            if reply.get("replayed"):
+                self.stats.replay_hits += 1
+            status = reply.get("status")
+            if status == "rejected":
+                reason = reply.get("reason", "?")
+                if reason in (QUEUE_FULL, SHUTDOWN):
+                    # The server is alive and explicit: back off, retry.
+                    self.breaker.record_success()
+                    last_shed = Rejected(reason, reply.get("detail", ""))
+                    last_failure = None
+                    await self._backoff(attempt, abs_deadline)
+                    continue
+                self.breaker.record_success()
+                return reply_to_result(op, reply)
+            if status == "error" and reply.get("retryable"):
+                # Wire-level damage (unparseable frame, oversized frame
+                # mid-chaos): the payload may arrive intact next time.
+                self.breaker.record_failure()
+                self.stats.protocol_errors += 1
+                last_failure = RuntimeError(reply.get("error", "wire error"))
+                await self._backoff(attempt, abs_deadline)
+                continue
+            self.breaker.record_success()
+            return reply_to_result(op, reply)
+        if last_shed is not None and last_failure is None:
+            return last_shed
+        return Failed(RetriesExhausted(
+            f"{op} failed after {self.retry.max_attempts} attempt(s): "
+            f"{type(last_failure).__name__}: {last_failure}"
+        ))
+
+    # -- attempt machinery ---------------------------------------------------
+
+    def _wire_message(self, key: str, op: str, payload: Any,
+                      params: Any) -> Dict[str, Any]:
+        msg: Dict[str, Any] = {"id": key, "op": op, "idem": key}
+        if op == "encode":
+            msg["image"] = image_to_wire(payload)
+            msg["params"] = params_to_wire(params)
+        elif op == "decode":
+            msg["data_b64"] = base64.b64encode(payload).decode("ascii")
+            if isinstance(params, dict) and params.get("max_layer") is not None:
+                msg["max_layer"] = int(params["max_layer"])
+        return msg
+
+    def _remaining(self, abs_deadline: Optional[float]) -> Optional[float]:
+        if abs_deadline is None:
+            return None
+        return abs_deadline - self.clock()
+
+    async def _attempt(self, msg: Dict[str, Any],
+                       remaining: Optional[float]) -> Dict[str, Any]:
+        conn = await self._ensure_connected()
+        fut = conn.register(msg["id"])
+        try:
+            conn.writer.write(json.dumps(msg).encode("utf-8") + b"\n")
+            await conn.writer.drain()
+        except (ConnectionError, OSError):
+            conn.pending.pop(msg["id"], None)
+            raise
+        timeout = self.retry.attempt_timeout
+        if remaining is not None:
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        try:
+            return await asyncio.wait_for(fut, timeout)
+        finally:
+            conn.pending.pop(msg["id"], None)
+
+    async def _ensure_connected(self) -> _Connection:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        async with self._conn_lock:
+            conn = self._conn
+            if conn is not None and not conn.closed:
+                return conn
+            if conn is None:
+                self.stats.connects += 1
+            else:
+                self.stats.reconnects += 1
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port, limit=_REPLY_LIMIT
+            )
+            conn = _Connection(reader, writer)
+            conn.task = asyncio.ensure_future(
+                conn.read_loop(self._on_protocol_error)
+            )
+            self._conn = conn
+            return conn
+
+    def _on_protocol_error(self) -> None:
+        self.stats.protocol_errors += 1
+
+    async def _backoff(self, attempt: int,
+                       abs_deadline: Optional[float]) -> None:
+        if attempt + 1 >= self.retry.max_attempts:
+            return  # no attempt follows; don't burn budget sleeping
+        delay = self.retry.backoff(attempt, self._rng)
+        remaining = self._remaining(abs_deadline)
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining))
+        if delay > 0:
+            self.stats.backoff_seconds += delay
+            await self._sleep(delay)
+
+    async def _breaker_gate(self, abs_deadline: Optional[float]) -> bool:
+        """Park until the breaker admits an attempt; ``False`` when the
+        deadline dies first."""
+        while not self.breaker.allow():
+            wait = max(self.breaker.time_until_half_open(), _BREAKER_POLL)
+            remaining = self._remaining(abs_deadline)
+            if remaining is not None:
+                if remaining <= 0:
+                    return False
+                wait = min(wait, remaining)
+            self.stats.breaker_waits += 1
+            await self._sleep(wait)
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Wire encoding helpers shared with the load generator.
+# ---------------------------------------------------------------------------
+
+
+def params_to_wire(params: Optional[CodecParams]) -> Dict[str, Any]:
+    if params is None:
+        return {}
+    return {
+        "levels": params.levels,
+        "filter_name": params.filter_name,
+        "cb_size": params.cb_size,
+        "base_step": params.base_step,
+        "target_bpp": list(params.target_bpp) if params.target_bpp else None,
+        "tile_size": params.tile_size,
+        "bit_depth": params.bit_depth,
+        "resilience": params.resilience,
+    }
+
+
+def reply_to_result(op: str, reply: Dict[str, Any]):
+    """Lift a wire reply back into the in-process result types."""
+    status = reply.get("status")
+    if status == "ok":
+        if op == "ping":
+            value: Any = True
+        elif op == "encode":
+            value = base64.b64decode(reply["data_b64"])
+        else:
+            value = image_from_wire(reply["image"])
+        return Completed(
+            value,
+            queue_wait=float(reply.get("queue_wait", 0.0)),
+            service_seconds=float(reply.get("service", 0.0)),
+            batch_size=int(reply.get("batch_size", 1)),
+        )
+    if status == "rejected":
+        return Rejected(reply.get("reason", "?"), reply.get("detail", ""))
+    return Failed(RuntimeError(reply.get("error", "unknown server error")))

@@ -19,9 +19,6 @@ batching layers with fake clocks.
 from __future__ import annotations
 
 import asyncio
-import base64
-import itertools
-import json
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -31,8 +28,15 @@ import numpy as np
 from ..codec import CodecParams, decode_image, encode_image
 from ..image import SyntheticSpec, synthetic_image
 from .admission import Completed, Failed, Rejected
+from .client import (
+    BreakerPolicy,
+    CodecClient,
+    RetryPolicy,
+    params_to_wire,
+    reply_to_result,
+)
 from .report import LoadReport, LoadSample
-from .server import CodecServer, image_from_wire, image_to_wire
+from .server import CodecServer
 
 __all__ = [
     "InProcessTarget",
@@ -41,6 +45,8 @@ __all__ = [
     "Workload",
     "arrival_offsets",
     "run_load",
+    "params_to_wire",
+    "reply_to_result",
 ]
 
 
@@ -144,107 +150,35 @@ class InProcessTarget:
 
 
 class TcpTarget:
-    """Drive a server's TCP front door over one JSON-lines connection.
+    """Drive a TCP front door through the resilient :class:`CodecClient`.
 
-    Replies are matched to requests by ``id`` (the protocol interleaves
-    freely), so one connection carries the whole open-loop run.
+    The client brings the exactly-once machinery along -- idempotency
+    keys, bounded retries with backoff, reconnect, and the circuit
+    breaker -- so ``repro serve bench`` (and the chaos soaks) exercise
+    the same code path a production caller would.  Replies are matched
+    to requests by ``id``; one client connection carries the whole
+    open-loop run, reconnecting as needed.
     """
 
-    def __init__(self, host: str, port: int) -> None:
-        self.host = host
-        self.port = port
-        self._ids = itertools.count(1)
-        self._pending: Dict[int, asyncio.Future] = {}
-        self._reader_task: Optional[asyncio.Task] = None
-        self._writer: Optional[asyncio.StreamWriter] = None
-        self._reader: Optional[asyncio.StreamReader] = None
+    def __init__(self, host: str, port: int,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[BreakerPolicy] = None) -> None:
+        self.client = CodecClient(host, port, retry=retry, breaker=breaker)
 
     async def open(self) -> "TcpTarget":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
-        self._reader_task = asyncio.create_task(self._read_loop())
+        await self.client.connect()
         return self
-
-    async def _read_loop(self) -> None:
-        try:
-            while True:
-                line = await self._reader.readline()
-                if not line:
-                    break
-                msg = json.loads(line)
-                fut = self._pending.pop(msg.get("id"), None)
-                if fut is not None and not fut.done():
-                    fut.set_result(msg)
-        except (ConnectionError, OSError):
-            pass  # connection dropped; pending futures fail below
-        finally:
-            for fut in self._pending.values():
-                if not fut.done():
-                    fut.set_exception(ConnectionError("connection closed"))
-            self._pending.clear()
 
     async def request(self, op: str, payload: Any, params: Any,
                       deadline: Optional[float]):
-        rid = next(self._ids)
-        msg: Dict[str, Any] = {"id": rid, "op": op}
-        if op == "encode":
-            msg["image"] = image_to_wire(payload)
-            msg["params"] = params_to_wire(params)
-        else:
-            msg["data_b64"] = base64.b64encode(payload).decode("ascii")
-        if deadline is not None:
-            msg["deadline"] = deadline
-        fut = asyncio.get_running_loop().create_future()
-        self._pending[rid] = fut
-        self._writer.write(json.dumps(msg).encode("utf-8") + b"\n")
-        await self._writer.drain()
-        reply = await fut
-        return reply_to_result(op, reply)
+        return await self.client.request(op, payload, params,
+                                         deadline=deadline)
+
+    def stats_dict(self) -> Dict[str, Any]:
+        return self.client.stats_dict()
 
     async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass  # already gone
-        if self._reader_task is not None:
-            await self._reader_task
-
-
-def params_to_wire(params: Optional[CodecParams]) -> Dict[str, Any]:
-    if params is None:
-        return {}
-    return {
-        "levels": params.levels,
-        "filter_name": params.filter_name,
-        "cb_size": params.cb_size,
-        "base_step": params.base_step,
-        "target_bpp": list(params.target_bpp) if params.target_bpp else None,
-        "tile_size": params.tile_size,
-        "bit_depth": params.bit_depth,
-        "resilience": params.resilience,
-    }
-
-
-def reply_to_result(op: str, reply: Dict[str, Any]):
-    """Lift a wire reply back into the in-process result types."""
-    status = reply.get("status")
-    if status == "ok":
-        if op == "encode":
-            value: Any = base64.b64decode(reply["data_b64"])
-        else:
-            value = image_from_wire(reply["image"])
-        return Completed(
-            value,
-            queue_wait=float(reply.get("queue_wait", 0.0)),
-            service_seconds=float(reply.get("service", 0.0)),
-            batch_size=int(reply.get("batch_size", 1)),
-        )
-    if status == "rejected":
-        return Rejected(reply.get("reason", "?"), reply.get("detail", ""))
-    return Failed(RuntimeError(reply.get("error", "unknown server error")))
+        await self.client.close()
 
 
 async def run_load(
@@ -285,8 +219,10 @@ async def run_load(
     if tasks:
         await asyncio.gather(*tasks)
     elapsed = clock() - start
+    stats_dict = getattr(target, "stats_dict", None)
+    client = stats_dict() if callable(stats_dict) else None
     return LoadReport(spec=spec.to_dict(), samples=list(samples),
-                      elapsed=elapsed)
+                      elapsed=elapsed, client=client)
 
 
 def _sample(i: int, result, latency: float, workload: Workload) -> LoadSample:

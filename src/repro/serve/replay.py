@@ -1,0 +1,135 @@
+"""Idempotent replay: answer retried requests without re-executing.
+
+The wire protocol's exactly-once contract rests here.  Every client
+request may carry a client-generated *idempotency key*; the server
+funnels keyed requests through a :class:`ReplayCache`:
+
+* first sighting of a key -> ``("execute", None)``: the caller runs
+  the codec work, then calls :meth:`finish` with the wire reply;
+* a retry that lands *while the original is still executing* ->
+  ``("joined", future)``: the caller awaits the same in-flight
+  execution and relays its reply -- the retry never touches a pool;
+* a retry that lands *after* completion -> ``("cached", reply)``: the
+  stored reply is returned verbatim (modulo the echoed ``id``).
+
+Only results that represent actual codec work (``Completed`` /
+``Failed`` -- both deterministic for a given request) are cached;
+explicit sheds (``Rejected``: queue-full, deadline, shutdown) resolve
+joiners but are *not* cached, because a shed executed nothing and the
+client's retry deserves a fresh admission attempt.
+
+The cache is bounded two ways: entries expire ``ttl`` seconds after
+completion (a retry later than that re-executes -- TTL idempotency is
+the standard contract) and the table is capped at ``cap`` entries with
+FIFO eviction (completion order == expiry order, so the oldest entry
+is always the next to die anyway).  ``track_executions`` additionally
+records per-key execution counts -- the chaos soak's "zero duplicate
+backend executions" cross-check -- and is off by default so a
+long-running server does not grow an unbounded dict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ReplayCache"]
+
+
+class ReplayCache:
+    """Bounded TTL cache of wire replies keyed by idempotency key.
+
+    Single-threaded by design: every method runs on the server's event
+    loop (the wire dispatch path), so there is no lock.  ``begin`` may
+    be called outside a running loop for the ``execute``/``cached``
+    verdicts; only a *join* needs the loop (it creates a future).
+    """
+
+    def __init__(
+        self,
+        cap: int = 1024,
+        ttl: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+        track_executions: bool = False,
+    ) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.cap = cap
+        self.ttl = ttl
+        self.clock = clock
+        #: key -> (expires_at, reply); insertion order == expiry order.
+        self._done: "OrderedDict[str, Tuple[float, Dict[str, Any]]]" = OrderedDict()
+        #: key -> waiter futures of retries joined to the in-flight run.
+        self._executing: Dict[str, List[asyncio.Future]] = {}
+        self.executions: Optional[Dict[str, int]] = (
+            {} if track_executions else None
+        )
+        self.evictions = 0
+        self.expirations = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._executing)
+
+    def sweep(self) -> int:
+        """Drop expired entries (FIFO prefix); returns how many died."""
+        now = self.clock()
+        dropped = 0
+        while self._done:
+            key, (expires, _) = next(iter(self._done.items()))
+            if expires > now:
+                break
+            del self._done[key]
+            dropped += 1
+        self.expirations += dropped
+        return dropped
+
+    # -- the idempotency protocol -------------------------------------------
+
+    def begin(self, key: str) -> Tuple[str, Any]:
+        """Route one keyed request: ``("cached", reply)`` /
+        ``("joined", future)`` / ``("execute", None)``."""
+        self.sweep()
+        entry = self._done.get(key)
+        if entry is not None:
+            return "cached", entry[1]
+        if key in self._executing:
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._executing[key].append(fut)
+            return "joined", fut
+        self._executing[key] = []
+        return "execute", None
+
+    def finish(self, key: str, reply: Dict[str, Any],
+               cache: bool = True) -> None:
+        """Complete an ``execute``: resolve joiners, optionally store.
+
+        ``cache=False`` is for sheds and wire-level failures -- joiners
+        still get the reply (their request *was* answered by this
+        attempt) but the next retry starts from scratch.
+        """
+        waiters = self._executing.pop(key, [])
+        if cache:
+            if self.executions is not None:
+                self.executions[key] = self.executions.get(key, 0) + 1
+            self._done[key] = (self.clock() + self.ttl, reply)
+            while len(self._done) > self.cap:
+                self._done.popitem(last=False)
+                self.evictions += 1
+        for fut in waiters:
+            if not fut.done():
+                fut.set_result(reply)
+
+    def abort(self, key: str, reply: Dict[str, Any]) -> None:
+        """An ``execute`` died before producing codec bytes: answer the
+        joiners with the error reply, cache nothing."""
+        self.finish(key, reply, cache=False)

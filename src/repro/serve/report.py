@@ -53,11 +53,19 @@ class LoadSample:
 
 @dataclass
 class LoadReport:
-    """One load run: spec, per-request samples, wall time."""
+    """One load run: spec, per-request samples, wall time.
+
+    ``client`` carries the resilient client's own tally (attempts,
+    retries, reconnects, replay hits, breaker opens) when the run went
+    through :class:`~repro.serve.client.CodecClient` -- under injected
+    chaos a *clean* run with nonzero retries is exactly the
+    exactly-once story this layer exists to tell.
+    """
 
     spec: Dict[str, Any]
     samples: List[LoadSample] = field(default_factory=list)
     elapsed: float = 0.0
+    client: Optional[Dict[str, Any]] = None
 
     # -- tallies -------------------------------------------------------------
 
@@ -142,10 +150,20 @@ class LoadReport:
                 "  sheds: "
                 + ", ".join(f"{k} {v}" for k, v in sorted(reasons.items()))
             )
+        if self.client is not None:
+            c = self.client
+            lines.append(
+                f"  client: {c.get('attempts', 0)} attempt(s) for "
+                f"{c.get('requests', 0)} request(s), "
+                f"retries {c.get('retries', 0)}, "
+                f"reconnects {c.get('reconnects', 0)}, "
+                f"replay hits {c.get('replay_hits', 0)}, "
+                f"breaker opens {c.get('breaker_opens', 0)}"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "spec": dict(self.spec),
             "elapsed": self.elapsed,
             "offered": self.offered,
@@ -158,6 +176,9 @@ class LoadReport:
             "shed_reasons": self.shed_reasons(),
             "samples": [s.to_dict() for s in self.samples],
         }
+        if self.client is not None:
+            out["client"] = dict(self.client)
+        return out
 
     def append_to_trajectory(self, path: Path,
                              name: Optional[str] = None) -> Path:

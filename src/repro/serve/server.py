@@ -25,6 +25,21 @@ The TCP front door speaks JSON lines: one request object per line in,
 one reply object per line out (``id`` echoes back; replies may
 interleave across in-flight requests of one connection).  See
 ``image_to_wire``/``params_from_wire`` for the payload encoding.
+
+Wire robustness (the exactly-once protocol):
+
+* frames are bounded by ``max_frame`` -- an oversized frame is drained
+  and answered with an explicit ``frame-too-large`` error while the
+  connection stays alive (no more asyncio ``LimitOverrunError``
+  killing the socket);
+* unparseable frames (corruption, non-UTF-8 bytes) answer an error
+  flagged ``retryable`` so a resilient client retries them, while
+  deterministic verdicts (codec errors, unknown ops) are not;
+* a request carrying an ``idem`` key is routed through the
+  :class:`~repro.serve.replay.ReplayCache`: a retry of a finished
+  request is answered from the cache (``replayed: true``), a retry of
+  an *in-flight* request joins the original execution -- either way
+  the codec runs at most once per key within the replay TTL.
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ from .admission import (
     Request,
 )
 from .batching import PoolSet, execute_batch
+from .replay import ReplayCache
 
 __all__ = [
     "CodecServer",
@@ -67,6 +83,9 @@ _LATENCY_BUCKETS = (
 )
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
+#: Socket read granularity for the manually framed TCP front door.
+_READ_CHUNK = 1 << 16
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -76,6 +95,13 @@ class ServeConfig:
     do not bring their own; ``batch_window`` is how long the batcher
     waits for stragglers once it holds a pool and the queue is shorter
     than ``max_batch`` (0 = dispatch immediately).
+
+    Wire-protocol knobs: ``max_frame`` bounds one JSON-lines frame
+    (oversized frames answer ``frame-too-large`` without killing the
+    connection); ``replay_ttl``/``replay_cap`` bound the idempotent
+    replay cache; ``track_executions`` keeps per-key execution counts
+    on the cache (test/diagnostic only -- the dict grows with the key
+    space).
     """
 
     backend: str = "threads"
@@ -86,6 +112,10 @@ class ServeConfig:
     batch_window: float = 0.0
     default_deadline: Optional[float] = None
     supervision: Optional[SupervisionPolicy] = None
+    max_frame: int = 1 << 23
+    replay_ttl: float = 60.0
+    replay_cap: int = 1024
+    track_executions: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -100,6 +130,12 @@ class ServeConfig:
             raise ValueError("batch_window must be >= 0")
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ValueError("default_deadline must be positive (or None)")
+        if self.max_frame < 1024:
+            raise ValueError("max_frame must be >= 1024 bytes")
+        if self.replay_ttl <= 0:
+            raise ValueError("replay_ttl must be positive")
+        if self.replay_cap < 1:
+            raise ValueError("replay_cap must be >= 1")
 
 
 class CodecServer:
@@ -119,6 +155,10 @@ class CodecServer:
         self.clock = clock
         self.wrap_backend = wrap_backend
         self.queue = AdmissionQueue(self.config.queue_depth, clock=clock)
+        self.replay = ReplayCache(
+            cap=self.config.replay_cap, ttl=self.config.replay_ttl,
+            clock=clock, track_executions=self.config.track_executions,
+        )
         self._ids = itertools.count(1)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pools: Optional[PoolSet] = None
@@ -310,6 +350,12 @@ class CodecServer:
                 "repro_serve_queue_depth", "Admission queue depth."
             ).set(self.queue.depth)
 
+    def _gauge_replay(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_serve_replay_entries", "Cached replayable replies."
+            ).set(len(self.replay))
+
     # -- TCP/JSON-lines front door -------------------------------------------
 
     async def serve_tcp(self, host: str = "127.0.0.1",
@@ -324,20 +370,48 @@ class CodecServer:
 
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
+        """Manually framed read loop: never trusts ``readline``'s
+        buffer limit (an overrun would kill the connection), bounds
+        frames at ``config.max_frame`` itself, and keeps serving the
+        connection after an oversized or malformed frame."""
         write_lock = asyncio.Lock()
         tasks: set = set()
+        max_frame = self.config.max_frame
+        buf = bytearray()
+        discarding = False
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    if buf and not discarding:
+                        # Trailing frame without a newline before EOF.
+                        self._spawn_line(bytes(buf), writer, write_lock,
+                                         tasks)
                     break
-                if not line.strip():
-                    continue
-                task = asyncio.ensure_future(
-                    self._handle_line(line, writer, write_lock)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
+                buf += chunk
+                while True:
+                    nl = buf.find(b"\n")
+                    if nl < 0:
+                        if discarding:
+                            buf.clear()  # still inside the oversized frame
+                        elif len(buf) > max_frame:
+                            discarding = True
+                            buf.clear()
+                            await self._reply_frame_too_large(
+                                writer, write_lock)
+                        break
+                    line = bytes(buf[:nl])
+                    del buf[: nl + 1]
+                    if discarding:
+                        discarding = False  # the monster frame finally ended
+                        continue
+                    if len(line) > max_frame:
+                        await self._reply_frame_too_large(writer, write_lock)
+                        continue
+                    if line.strip():
+                        self._spawn_line(line, writer, write_lock, tasks)
+        except (ConnectionError, OSError):
+            pass  # torn mid-frame; in-flight replies flush below
         finally:
             if tasks:
                 await asyncio.gather(*list(tasks), return_exceptions=True)
@@ -347,6 +421,25 @@ class CodecServer:
             except (ConnectionError, OSError):
                 pass  # peer went away first; nothing left to flush
 
+    def _spawn_line(self, line: bytes, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock, tasks: set) -> None:
+        task = asyncio.ensure_future(
+            self._handle_line(line, writer, write_lock)
+        )
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    async def _reply_frame_too_large(self, writer: asyncio.StreamWriter,
+                                     write_lock: asyncio.Lock) -> None:
+        self._count("frame_too_large",
+                    "Frames rejected for exceeding max_frame.")
+        await self._write_reply(writer, write_lock, {
+            "id": None, "status": "error",
+            "error": f"frame-too-large: frames are capped at "
+                     f"{self.config.max_frame} bytes",
+            "retryable": False,
+        })
+
     async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
                            write_lock: asyncio.Lock) -> None:
         rid = None
@@ -355,8 +448,19 @@ class CodecServer:
             rid = msg.get("id")
             reply = await self._dispatch_wire(msg)
         except Exception as exc:
+            # Reaching here means the frame (not the codec) failed --
+            # corruption, truncation, bad fields.  Flag it retryable:
+            # the client's next attempt may arrive intact.
+            self._count("wire_errors",
+                        "Frames answered with a wire-level error.")
             reply = {"id": rid, "status": "error",
-                     "error": f"{type(exc).__name__}: {exc}"}
+                     "error": f"{type(exc).__name__}: {exc}",
+                     "retryable": True}
+        await self._write_reply(writer, write_lock, reply)
+
+    async def _write_reply(self, writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock,
+                           reply: Dict[str, Any]) -> None:
         async with write_lock:
             try:
                 writer.write(json.dumps(reply).encode("utf-8") + b"\n")
@@ -372,22 +476,66 @@ class CodecServer:
             deadline = float(deadline)
         if op == "ping":
             return {"id": rid, "status": "ok", "pong": True}
-        if op == "encode":
-            payload = image_from_wire(msg["image"])
-            params = params_from_wire(msg.get("params") or {})
-            result = await self.submit("encode", payload, params,
-                                       deadline=deadline)
-        elif op == "decode":
-            payload = base64.b64decode(msg["data_b64"])
-            kwargs: Dict[str, Any] = {}
-            if msg.get("max_layer") is not None:
-                kwargs["max_layer"] = int(msg["max_layer"])
-            result = await self.submit("decode", payload, kwargs,
-                                       deadline=deadline)
-        else:
+        if op not in ("encode", "decode"):
             return {"id": rid, "status": "error",
                     "error": f"unknown op {op!r}"}
-        return wire_reply(rid, op, result)
+        key = msg.get("idem")
+        executing = False
+        if key is not None:
+            key = str(key)
+            verdict, found = self.replay.begin(key)
+            if verdict == "cached":
+                self._count("replay_hits",
+                            "Retried requests answered without re-executing.")
+                self._count("replay_cached",
+                            "Replay hits served from the finished cache.")
+                return dict(found, id=rid, replayed=True)
+            if verdict == "joined":
+                self._count("replay_hits",
+                            "Retried requests answered without re-executing.")
+                self._count("replay_joined",
+                            "Replay hits joined to an in-flight execution.")
+                reply = await found
+                return dict(reply, id=rid, replayed=True)
+            executing = True
+        try:
+            if op == "encode":
+                payload = image_from_wire(msg["image"])
+                params = params_from_wire(msg.get("params") or {})
+                result = await self.submit("encode", payload, params,
+                                           deadline=deadline)
+            else:
+                payload = base64.b64decode(msg["data_b64"])
+                kwargs: Dict[str, Any] = {}
+                if msg.get("max_layer") is not None:
+                    kwargs["max_layer"] = int(msg["max_layer"])
+                result = await self.submit("decode", payload, kwargs,
+                                           deadline=deadline)
+        except BaseException as exc:
+            if executing:
+                # Joined retries must not hang on a parse failure: hand
+                # them the same (retryable) error, cache nothing.
+                self.replay.abort(key, {
+                    "status": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "retryable": True,
+                })
+            raise
+        reply = wire_reply(rid, op, result)
+        if executing:
+            # Only actual codec work (Completed/Failed, both
+            # deterministic re-runs) is replay-cacheable; a shed
+            # executed nothing, so a retry earns a fresh admission try.
+            cacheable = isinstance(result, (Completed, Failed))
+            if cacheable:
+                self._count("replay_stores",
+                            "Idempotent executions recorded for replay.")
+            self.replay.finish(
+                key, {k: v for k, v in reply.items() if k != "id"},
+                cache=cacheable,
+            )
+            self._gauge_replay()
+        return reply
 
 
 # ---------------------------------------------------------------------------
